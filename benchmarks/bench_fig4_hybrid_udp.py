@@ -1,0 +1,192 @@
+"""Figure 4 — "Aggregated UDP goodput with Turris Omnia".
+
+Regenerates the paper's three series over UDP payload sizes 200–1400 B:
+
+* **IPv6 forward.** — the CPE only forwards plain IPv6;
+* **Kernel decap.** — traffic arrives SRv6-encapsulated and the CPE's
+  native End.DT6 decapsulates (paper: ~10 % overhead);
+* **eBPF WRR** — the CPE itself runs the WRR encapsulation program
+  *without the JIT* (the paper's ARM32 JIT bug), making the interpreter
+  the bottleneck.
+
+The CPE's CPU is modelled as a single-server queue with per-class packet
+costs in the Turris class (see :class:`repro.sim.cpu.CostModel`); the
+links run at 1 Gb/s, so small payloads are CPU-bound (goodput grows
+linearly with payload size) and the baseline approaches line rate at
+1400 B — the figure's shape.
+"""
+
+import pytest
+
+from repro.ebpf import ArrayMap
+from repro.net import BpfLwt, EndDT6, Node, Seg6Encap, pton
+from repro.progs import wrr_config_value, wrr_prog
+from repro.sim import CostModel, CpuQueue, FlowMeter, Link, Scheduler, UdpFlow, mbps
+from repro.sim.scheduler import NS_PER_SEC
+
+PAYLOADS = (200, 400, 600, 800, 1000, 1200, 1400)
+SERIES = ("ipv6_forward", "kernel_decap", "ebpf_wrr")
+RESULTS: dict[tuple[str, int], float] = {}
+
+DURATION_NS = NS_PER_SEC // 4
+
+# The experiment is linearly scaled down (CPU costs x4, link rates /4)
+# so each point simulates tens rather than hundreds of thousands of
+# packets; every ratio in the figure is scale-invariant.
+SCALE = 4
+LINK_RATE = 1e9 / SCALE
+OFFERED_PPS = 36_000  # comfortably above the scaled CPE's ~22.7 kpps
+
+
+def scaled_cost_model() -> CostModel:
+    base = CostModel(classifier=classify)
+    return CostModel(
+        forward_ns=base.forward_ns * SCALE,
+        decap_ns=base.decap_ns * SCALE,
+        bpf_jit_ns=base.bpf_jit_ns * SCALE,
+        bpf_interp_ns=base.bpf_interp_ns * SCALE,
+        classifier=classify,
+    )
+
+
+def classify(pkt, node):
+    """CPE work classification for the CPU cost model."""
+    mode = getattr(node, "bench_mode", "ipv6_forward")
+    if mode == "kernel_decap" and pkt.next_header == 43:
+        return "decap"
+    if mode == "ebpf_wrr":
+        return "bpf_interp"
+    return "forward"
+
+
+def build(mode: str):
+    """S1 — A ==(2 x 1 Gb/s)== M(CPE) — S2, with the CPE CPU-bound."""
+    scheduler = Scheduler()
+    clock = scheduler.now_fn()
+    s1 = Node("S1", clock_ns=clock)
+    a = Node("A", clock_ns=clock)
+    m = Node("M", clock_ns=clock)
+    s2 = Node("S2", clock_ns=clock)
+    s1.add_device("eth0")
+    a.add_device("wan")
+    a.add_device("l0")
+    a.add_device("l1")
+    m.add_device("l0")
+    m.add_device("l1")
+    m.add_device("lan")
+    s2.add_device("eth0")
+    s1.add_address("fc00:1::1")
+    a.add_address("fc00:aa::1")
+    m.add_address("fc00:bb::1")
+    s2.add_address("fc00:2::2")
+
+    Link(scheduler, s1.devices["eth0"], a.devices["wan"], 10 * LINK_RATE, 10_000)
+    Link(scheduler, a.devices["l0"], m.devices["l0"], LINK_RATE, 10_000)
+    Link(scheduler, a.devices["l1"], m.devices["l1"], LINK_RATE, 10_000)
+    Link(scheduler, m.devices["lan"], s2.devices["eth0"], 10 * LINK_RATE, 10_000)
+
+    s1.add_route("::/0", via="fc00:aa::1", dev="eth0")
+    s2.add_route("::/0", via="fc00:bb::1", dev="eth0")
+    a.add_route("fc00:1::/64", via="fc00:1::1", dev="wan")
+    m.add_route("fc00:2::/64", via="fc00:2::2", dev="lan")
+    m.add_route("fc00:1::/64", via="fc00:aa::1", dev="l0")
+
+    m.bench_mode = mode
+    m.cpu = CpuQueue(scheduler, scaled_cost_model(), m, queue_limit=200)
+
+    if mode == "ipv6_forward":
+        # A round-robins plain packets across both links by flow; a single
+        # flow sticks to one link, so use per-packet alternation via two
+        # /65-style halves is overkill — pin to ECMP over flows instead.
+        from repro.net import Nexthop
+
+        a.add_route(
+            "fc00:2::/64",
+            nexthops=[
+                Nexthop(via="fc00:bb::1", dev="l0"),
+                Nexthop(via="fc00:bb::1", dev="l1"),
+            ],
+        )
+    elif mode == "kernel_decap":
+        # Static seg6 encap at A, native End.DT6 decap at the CPE.
+        a.add_route("fc00:2::/64", encap=Seg6Encap(segments=[pton("fc00:bb::d0")]))
+        a.add_route("fc00:bb::d0/128", via="fc00:bb::1", dev="l0")
+        m.add_route("fc00:bb::d0/128", encap=EndDT6(table_id=254))
+    elif mode == "ebpf_wrr":
+        # The CPE is also the WRR encapsulator (upstream direction in the
+        # paper); model its eBPF cost on the downstream path by running
+        # the WRR at A but charging the CPE interpreter cost per packet.
+        config = ArrayMap(f"f4cfg_{id(object())}", value_size=40, max_entries=1)
+        state = ArrayMap(f"f4st_{id(object())}", value_size=16, max_entries=1)
+        config.update(b"\x00" * 4, wrr_config_value("fc00:bb::d0", "fc00:bb::d1", 1, 1))
+        a.add_route("fc00:2::/64", encap=BpfLwt(prog_out=wrr_prog(config, state, jit=False)))
+        a.add_route("fc00:bb::d0/128", via="fc00:bb::1", dev="l0")
+        a.add_route("fc00:bb::d1/128", via="fc00:bb::1", dev="l1")
+        m.add_route("fc00:bb::d0/128", encap=EndDT6(table_id=254))
+        m.add_route("fc00:bb::d1/128", encap=EndDT6(table_id=254))
+    return scheduler, s1, s2
+
+
+def run_series(mode: str, payload: int) -> float:
+    scheduler, s1, s2 = build(mode)
+    meter = FlowMeter()
+    s2.bind(meter.on_packet, proto=17, port=5201)
+    # Constant *packet* rate across payload sizes (iperf3 driven at a rate
+    # beyond capacity): the CPE stays the bottleneck at every point.
+    per_flow_rate = OFFERED_PPS / 4 * (payload + 48) * 8
+    flows = [
+        UdpFlow(
+            scheduler, s1, "fc00:1::1", "fc00:2::2",
+            rate_bps=per_flow_rate, payload_size=payload,
+            src_port=40000 + i, flow_label=i,
+        )
+        for i in range(4)
+    ]
+    for flow in flows:
+        flow.start(duration_ns=DURATION_NS)
+    scheduler.run(until_ns=DURATION_NS + NS_PER_SEC // 5)
+    return meter.goodput_bps() * SCALE  # report at the unscaled magnitude
+
+
+@pytest.mark.parametrize("payload", PAYLOADS)
+@pytest.mark.parametrize("mode", SERIES)
+def test_fig4_point(benchmark, mode, payload):
+    result = benchmark.pedantic(run_series, args=(mode, payload), rounds=1)
+    RESULTS[(mode, payload)] = result
+    benchmark.extra_info["goodput_mbps"] = round(mbps(result), 1)
+
+
+def test_fig4_shape_and_report(benchmark):
+    if len(RESULTS) < len(SERIES) * len(PAYLOADS):
+        pytest.skip("figure 4 points did not run")
+    benchmark.pedantic(lambda: None, rounds=1)
+    print("\n=== Figure 4 — aggregated UDP goodput (Mb/s) vs payload ===")
+    print(f"  {'payload':>8} {'IPv6 fwd':>10} {'kern decap':>11} {'eBPF WRR':>10}")
+    for payload in PAYLOADS:
+        row = [mbps(RESULTS[(mode, payload)]) for mode in SERIES]
+        print(f"  {payload:>8} {row[0]:>10.0f} {row[1]:>11.0f} {row[2]:>10.0f}")
+
+    for payload in PAYLOADS:
+        fwd = RESULTS[("ipv6_forward", payload)]
+        decap = RESULTS[("kernel_decap", payload)]
+        wrr = RESULTS[("ebpf_wrr", payload)]
+        # Ordering: forward >= decap >= WRR-without-JIT (paper's series).
+        assert fwd >= decap * 0.98, f"decap above baseline at {payload}"
+        assert decap >= wrr * 0.98, f"WRR above decap at {payload}"
+
+    # CPU-bound region: goodput grows ~linearly with payload size.
+    assert RESULTS[("ipv6_forward", 1400)] > 3 * RESULTS[("ipv6_forward", 200)]
+    # Decap ~10 % below baseline in the CPU-bound region (paper).
+    ratio = RESULTS[("kernel_decap", 600)] / RESULTS[("ipv6_forward", 600)]
+    assert 0.8 < ratio < 1.0
+    # WRR approaches the baseline at 1400 B (paper: "almost capable of
+    # reaching the baseline performance for 1400-byte payloads").
+    closing = RESULTS[("ebpf_wrr", 1400)] / RESULTS[("ipv6_forward", 1400)]
+    opening = RESULTS[("ebpf_wrr", 200)] / RESULTS[("ipv6_forward", 200)]
+    assert closing >= opening - 0.02
+    assert closing > 0.75
+    benchmark.extra_info["series_mbps"] = {
+        f"{mode}@{payload}": round(mbps(RESULTS[(mode, payload)]), 1)
+        for mode in SERIES
+        for payload in PAYLOADS
+    }

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` under PEP 517; in offline
+environments without wheel, ``python3 setup.py develop`` installs the
+package in editable mode using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

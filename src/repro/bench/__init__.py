@@ -1,0 +1,27 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from .harness import (
+    BATCH_SIZE,
+    FIG2_VARIANTS,
+    FUNC_SEGMENT,
+    SINK_ADDR,
+    BenchResult,
+    ResultRegistry,
+    copy_batch,
+    drive_batch,
+    make_fig2_router,
+    make_router,
+)
+
+__all__ = [
+    "BATCH_SIZE",
+    "BenchResult",
+    "FIG2_VARIANTS",
+    "FUNC_SEGMENT",
+    "ResultRegistry",
+    "SINK_ADDR",
+    "copy_batch",
+    "drive_batch",
+    "make_fig2_router",
+    "make_router",
+]

@@ -1,0 +1,133 @@
+"""Shared benchmark infrastructure: router variants, batch driving,
+normalisation against the raw-IPv6-forwarding baseline, and reporting.
+
+The §3.2 methodology is reproduced directly: the router under test is
+driven with trafgen-style UDP packets carrying a two-segment SRH (64-byte
+payload); throughput is reported *normalised to plain IPv6 forwarding* —
+the paper's 610 kpps reference — so the benches regenerate relative bars,
+not absolute testbed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ebpf import Program
+from ..net import End, EndBPF, EndT, Node, Packet
+from ..progs import add_tlv_prog, end_prog, end_t_prog, tag_increment_prog
+from ..sim.trafgen import batch_srv6_udp, batch_udp
+
+FUNC_SEGMENT = "fc00:e::100"
+SINK_PREFIX = "fc00:2::/64"
+SINK_ADDR = "fc00:2::2"
+BATCH_SIZE = 256
+
+
+def make_router() -> Node:
+    """The router-under-test (R in setup 1), with a sink route."""
+    node = Node("R", clock_ns=lambda: 0)
+    node.add_device("eth0")
+    node.add_device("eth1")
+    node.add_address("fc00:e::1")
+    node.add_route("fc00:1::/64", via="fc00:1::1", dev="eth0")
+    node.add_route(SINK_PREFIX, via=SINK_ADDR, dev="eth1")
+    return node
+
+
+# --- Figure 2 router variants -------------------------------------------------
+
+FIG2_VARIANTS = (
+    "baseline_ipv6",
+    "end_static",
+    "end_bpf",
+    "end_t_static",
+    "end_t_bpf",
+    "tag_increment_bpf",
+    "add_tlv_bpf",
+    "add_tlv_bpf_nojit",
+)
+
+
+def make_fig2_router(variant: str) -> tuple[Node, list[Packet]]:
+    """Configure R for one Figure 2 bar and build its packet templates."""
+    node = make_router()
+    srv6 = batch_srv6_udp(
+        "fc00:1::1", [FUNC_SEGMENT, SINK_ADDR], BATCH_SIZE, payload_size=64
+    )
+    if variant == "baseline_ipv6":
+        return node, batch_udp("fc00:1::1", SINK_ADDR, BATCH_SIZE, payload_size=64)
+    if variant == "end_static":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=End())
+    elif variant == "end_bpf":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndBPF(end_prog()))
+    elif variant == "end_t_static":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndT(table_id=254))
+    elif variant == "end_t_bpf":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndBPF(end_t_prog(254)))
+    elif variant == "tag_increment_bpf":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndBPF(tag_increment_prog()))
+    elif variant == "add_tlv_bpf":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndBPF(add_tlv_prog()))
+    elif variant == "add_tlv_bpf_nojit":
+        node.add_route(f"{FUNC_SEGMENT}/128", encap=EndBPF(add_tlv_prog(jit=False)))
+    else:
+        raise ValueError(f"unknown Figure 2 variant {variant!r}")
+    return node, srv6
+
+
+def drive_batch(node: Node, packets: list[Packet]) -> int:
+    """Push a batch through the datapath; returns forwarded count."""
+    dev = node.devices["eth0"]
+    receive = node.receive
+    for pkt in packets:
+        receive(pkt, dev)
+    out = node.devices["eth1"].tx_buffer
+    forwarded = len(out)
+    out.clear()
+    return forwarded
+
+
+def copy_batch(templates: list[Packet]) -> list[Packet]:
+    """Fresh packet copies (the datapath mutates packets in place)."""
+    return [Packet(bytes(p.data)) for p in templates]
+
+
+# --- cross-test result registry -----------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    name: str
+    pps: float
+    extra: dict = field(default_factory=dict)
+
+
+class ResultRegistry:
+    """Collects per-variant throughput so a final test can normalise."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.results: dict[str, BenchResult] = {}
+
+    def record(self, name: str, seconds_per_batch: float, batch_size: int = BATCH_SIZE, **extra):
+        pps = batch_size / seconds_per_batch if seconds_per_batch > 0 else 0.0
+        self.results[name] = BenchResult(name, pps, extra)
+        return pps
+
+    def normalised(self, baseline: str) -> dict[str, float]:
+        base = self.results[baseline].pps
+        return {name: r.pps / base for name, r in self.results.items()}
+
+    def report(self, baseline: str, paper: dict[str, float] | None = None) -> str:
+        norm = self.normalised(baseline)
+        lines = [f"\n=== {self.title} (normalised to {baseline}) ==="]
+        width = max(len(name) for name in norm)
+        for name, value in norm.items():
+            paper_note = ""
+            if paper and name in paper:
+                paper_note = f"   paper ≈ {paper[name]:.2f}"
+            lines.append(
+                f"  {name:<{width}}  {value:6.3f}   "
+                f"({self.results[name].pps / 1e3:8.1f} kpps){paper_note}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""Two-pass eBPF text assembler.
+
+The syntax follows the classic ``bpf_asm``/ubpf mnemonics::
+
+    ; comments start with ';', '#' or '//'
+    mov r6, r1              ; alu64 register move
+    mov32 r2, 10            ; alu32 immediate move
+    ldxw r3, [r1+16]        ; load word from [r1 + 16]
+    stxdw [r10-8], r3       ; store double word
+    stw [r10-16], 0         ; store immediate word
+    lddw r1, 0x1122334455   ; 64-bit immediate
+    lddw r1, map:counters   ; pseudo map-pointer load (relocated at load)
+    be32 r3                 ; byte swap to big-endian, 32-bit
+    jeq r3, 0, drop         ; conditional jump to label
+    ja out                  ; unconditional jump
+    call ktime_get_ns       ; helper call by name (or by number)
+    drop:
+    mov r0, 2
+    exit
+
+Labels are resolved in a second pass; branch offsets are counted in 64-bit
+slots (an ``lddw`` occupies two), exactly as the kernel expects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import isa
+from .errors import AsmError
+from .insn import Instruction
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+
+_ALU_OPS = {
+    "add": isa.BPF_ADD,
+    "sub": isa.BPF_SUB,
+    "mul": isa.BPF_MUL,
+    "div": isa.BPF_DIV,
+    "or": isa.BPF_OR,
+    "and": isa.BPF_AND,
+    "lsh": isa.BPF_LSH,
+    "rsh": isa.BPF_RSH,
+    "mod": isa.BPF_MOD,
+    "xor": isa.BPF_XOR,
+    "mov": isa.BPF_MOV,
+    "arsh": isa.BPF_ARSH,
+}
+
+_JMP_OPS = {
+    "jeq": isa.BPF_JEQ,
+    "jgt": isa.BPF_JGT,
+    "jge": isa.BPF_JGE,
+    "jset": isa.BPF_JSET,
+    "jne": isa.BPF_JNE,
+    "jsgt": isa.BPF_JSGT,
+    "jsge": isa.BPF_JSGE,
+    "jlt": isa.BPF_JLT,
+    "jle": isa.BPF_JLE,
+    "jslt": isa.BPF_JSLT,
+    "jsle": isa.BPF_JSLE,
+}
+
+_SIZES = {"b": isa.BPF_B, "h": isa.BPF_H, "w": isa.BPF_W, "dw": isa.BPF_DW}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AsmError(f"expected register, got {token!r}", line_no)
+    reg = int(match.group(1))
+    if reg >= isa.NUM_REGS:
+        raise AsmError(f"register r{reg} out of range", line_no)
+    return reg
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(f"expected integer, got {token!r}", line_no) from None
+
+
+def _parse_mem(token: str, line_no: int) -> tuple[int, int]:
+    """Parse ``[rN+off]`` into (register, offset)."""
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AsmError(f"expected memory operand [rN+off], got {token!r}", line_no)
+    reg = _parse_reg(match.group(1), line_no)
+    off = 0
+    if match.group(3) is not None:
+        off = _parse_int(match.group(3), line_no)
+        if match.group(2) == "-":
+            off = -off
+    return reg, off
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+class _PendingJump:
+    """A jump whose target label is resolved in the second pass."""
+
+    def __init__(self, opcode, dst, src, imm, label, slot, line_no):
+        self.opcode = opcode
+        self.dst = dst
+        self.src = src
+        self.imm = imm
+        self.label = label
+        self.slot = slot
+        self.line_no = line_no
+
+    def resolve(self, labels: dict[str, int]) -> Instruction:
+        if self.label not in labels:
+            raise AsmError(f"undefined label {self.label!r}", self.line_no)
+        off = labels[self.label] - self.slot - 1
+        return Instruction(self.opcode, self.dst, self.src, off, self.imm)
+
+
+def assemble(
+    text: str, helpers: dict[str, int] | None = None
+) -> list[Instruction]:
+    """Assemble eBPF source text into an instruction list.
+
+    ``helpers`` maps helper names to numbers for ``call`` by name; it
+    defaults to the global registry in :mod:`repro.ebpf.helpers`.
+    """
+    if helpers is None:
+        from .helpers import HELPER_IDS_BY_NAME
+
+        helpers = HELPER_IDS_BY_NAME
+
+    labels: dict[str, int] = {}
+    items: list[Instruction | _PendingJump] = []
+    slot = 0
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = re.split(r";|#|//", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AsmError(f"invalid label {label!r}", line_no)
+            if label in labels:
+                raise AsmError(f"duplicate label {label!r}", line_no)
+            labels[label] = slot
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(rest)
+        item = _assemble_one(mnemonic, ops, slot, line_no, helpers)
+        items.append(item)
+        slot += item.slots if isinstance(item, Instruction) else 1
+
+    insns: list[Instruction] = []
+    for item in items:
+        if isinstance(item, _PendingJump):
+            insns.append(item.resolve(labels))
+        else:
+            insns.append(item)
+    return insns
+
+
+def _assemble_one(mnemonic, ops, slot, line_no, helpers):
+    # --- ALU (64-bit default, '32' suffix for alu32) ---------------------
+    base, is32 = mnemonic, False
+    if mnemonic.endswith("32") and mnemonic[:-2] in (*_ALU_OPS, *_JMP_OPS, "neg"):
+        base, is32 = mnemonic[:-2], True
+
+    if base in _ALU_OPS:
+        if len(ops) != 2:
+            raise AsmError(f"{mnemonic} needs 2 operands", line_no)
+        klass = isa.BPF_ALU if is32 else isa.BPF_ALU64
+        dst = _parse_reg(ops[0], line_no)
+        if _REG_RE.match(ops[1]):
+            src = _parse_reg(ops[1], line_no)
+            return Instruction(klass | isa.BPF_X | _ALU_OPS[base], dst, src)
+        imm = _parse_int(ops[1], line_no)
+        return Instruction(klass | isa.BPF_K | _ALU_OPS[base], dst, imm=imm)
+
+    if base == "neg":
+        if len(ops) != 1:
+            raise AsmError("neg needs 1 operand", line_no)
+        klass = isa.BPF_ALU if is32 else isa.BPF_ALU64
+        return Instruction(klass | isa.BPF_NEG, _parse_reg(ops[0], line_no))
+
+    # --- Endianness conversions ------------------------------------------
+    if mnemonic in ("be16", "be32", "be64", "le16", "le32", "le64"):
+        if len(ops) != 1:
+            raise AsmError(f"{mnemonic} needs 1 operand", line_no)
+        direction = isa.BPF_TO_BE if mnemonic.startswith("be") else isa.BPF_TO_LE
+        width = int(mnemonic[2:])
+        return Instruction(
+            isa.BPF_ALU | isa.BPF_END | direction,
+            _parse_reg(ops[0], line_no),
+            imm=width,
+        )
+
+    # --- lddw -------------------------------------------------------------
+    if mnemonic == "lddw":
+        if len(ops) != 2:
+            raise AsmError("lddw needs 2 operands", line_no)
+        dst = _parse_reg(ops[0], line_no)
+        opcode = isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW
+        if ops[1].startswith("map:"):
+            name = ops[1][4:]
+            if not name:
+                raise AsmError("empty map name", line_no)
+            return Instruction(
+                opcode, dst, isa.BPF_PSEUDO_MAP_FD, imm64=0, map_ref=name
+            )
+        return Instruction(opcode, dst, imm64=_parse_int(ops[1], line_no) & isa.U64)
+
+    # --- Loads and stores ---------------------------------------------------
+    if mnemonic.startswith("ldx"):
+        size = _SIZES.get(mnemonic[3:])
+        if size is None or len(ops) != 2:
+            raise AsmError(f"bad load {mnemonic!r}", line_no)
+        dst = _parse_reg(ops[0], line_no)
+        src, off = _parse_mem(ops[1], line_no)
+        return Instruction(isa.BPF_LDX | isa.BPF_MEM | size, dst, src, off)
+
+    if mnemonic.startswith("stx"):
+        size = _SIZES.get(mnemonic[3:])
+        if size is None or len(ops) != 2:
+            raise AsmError(f"bad store {mnemonic!r}", line_no)
+        dst, off = _parse_mem(ops[0], line_no)
+        src = _parse_reg(ops[1], line_no)
+        return Instruction(isa.BPF_STX | isa.BPF_MEM | size, dst, src, off)
+
+    if mnemonic.startswith("st") and mnemonic[2:] in _SIZES:
+        size = _SIZES[mnemonic[2:]]
+        if len(ops) != 2:
+            raise AsmError(f"bad store {mnemonic!r}", line_no)
+        dst, off = _parse_mem(ops[0], line_no)
+        imm = _parse_int(ops[1], line_no)
+        return Instruction(isa.BPF_ST | isa.BPF_MEM | size, dst, off=off, imm=imm)
+
+    # --- Jumps --------------------------------------------------------------
+    if mnemonic == "ja":
+        if len(ops) != 1:
+            raise AsmError("ja needs 1 operand", line_no)
+        return _PendingJump(
+            isa.BPF_JMP | isa.BPF_JA, 0, 0, 0, ops[0], slot, line_no
+        )
+
+    if base in _JMP_OPS:
+        if len(ops) != 3:
+            raise AsmError(f"{mnemonic} needs 3 operands", line_no)
+        klass = isa.BPF_JMP32 if is32 else isa.BPF_JMP
+        dst = _parse_reg(ops[0], line_no)
+        if _REG_RE.match(ops[1]):
+            src = _parse_reg(ops[1], line_no)
+            opcode = klass | isa.BPF_X | _JMP_OPS[base]
+            return _PendingJump(opcode, dst, src, 0, ops[2], slot, line_no)
+        imm = _parse_int(ops[1], line_no)
+        opcode = klass | isa.BPF_K | _JMP_OPS[base]
+        return _PendingJump(opcode, dst, 0, imm, ops[2], slot, line_no)
+
+    # --- Call / exit ---------------------------------------------------------
+    if mnemonic == "call":
+        if len(ops) != 1:
+            raise AsmError("call needs 1 operand", line_no)
+        token = ops[0]
+        if re.match(r"^-?\d", token):
+            func = _parse_int(token, line_no)
+        else:
+            if token not in helpers:
+                raise AsmError(f"unknown helper {token!r}", line_no)
+            func = helpers[token]
+        return Instruction(isa.BPF_JMP | isa.BPF_CALL, imm=func)
+
+    if mnemonic == "exit":
+        if ops:
+            raise AsmError("exit takes no operands", line_no)
+        return Instruction(isa.BPF_JMP | isa.BPF_EXIT)
+
+    raise AsmError(f"unknown mnemonic {mnemonic!r}", line_no)

@@ -1,0 +1,257 @@
+"""Programmatic eBPF construction — a fluent alternative to assembly text.
+
+Where :mod:`repro.ebpf.asm` mirrors ``bpf_asm``, this module mirrors the
+``BPF_MOV64_REG``-style macro layer kernel developers use: each method
+appends one instruction, labels are objects, and the result feeds
+directly into :class:`~repro.ebpf.program.Program`.
+
+>>> from repro.ebpf.builder import BpfBuilder, R0, R1, R2, R10
+>>> b = BpfBuilder()
+>>> done = b.new_label("done")
+>>> insns = (
+...     b.mov(R2, 7)
+...      .jeq(R2, 7, done)
+...      .mov(R2, 0)
+...      .label(done)
+...      .mov(R0, 0)
+...      .exit()
+...      .build()
+... )
+>>> len(insns)
+5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import isa
+from .errors import AsmError
+from .insn import Instruction
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand (distinct from plain ints, which are immediates)."""
+
+    index: int
+
+    def __post_init__(self):
+        if not 0 <= self.index < isa.NUM_REGS:
+            raise AsmError(f"no such register r{self.index}")
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = (Reg(i) for i in range(11))
+
+
+@dataclass
+class Label:
+    """A jump target; resolved when :meth:`BpfBuilder.build` runs."""
+
+    name: str
+    slot: int | None = None
+
+
+@dataclass
+class _Pending:
+    opcode: int
+    dst: int
+    src: int
+    imm: int
+    label: Label
+    slot: int
+
+
+class BpfBuilder:
+    """Accumulates instructions; every mutator returns ``self`` for chaining."""
+
+    def __init__(self):
+        self._items: list[Instruction | _Pending] = []
+        self._slot = 0
+        self._labels: list[Label] = []
+
+    # -- labels ---------------------------------------------------------------
+    def new_label(self, name: str = "") -> Label:
+        label = Label(name or f"L{len(self._labels)}")
+        self._labels.append(label)
+        return label
+
+    def label(self, label: Label) -> "BpfBuilder":
+        if label.slot is not None:
+            raise AsmError(f"label {label.name!r} placed twice")
+        label.slot = self._slot
+        return self
+
+    # -- ALU ----------------------------------------------------------------------
+    def _alu(self, op: int, dst: Reg, src, is64: bool = True) -> "BpfBuilder":
+        klass = isa.BPF_ALU64 if is64 else isa.BPF_ALU
+        if isinstance(src, Reg):
+            insn = Instruction(klass | isa.BPF_X | op, dst.index, src.index)
+        else:
+            insn = Instruction(klass | isa.BPF_K | op, dst.index, imm=int(src))
+        return self._push(insn)
+
+    def mov(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_MOV, dst, src)
+
+    def mov32(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_MOV, dst, src, is64=False)
+
+    def add(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_ADD, dst, src)
+
+    def sub(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_SUB, dst, src)
+
+    def mul(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_MUL, dst, src)
+
+    def div(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_DIV, dst, src)
+
+    def mod(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_MOD, dst, src)
+
+    def and_(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_AND, dst, src)
+
+    def or_(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_OR, dst, src)
+
+    def xor(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_XOR, dst, src)
+
+    def lsh(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_LSH, dst, src)
+
+    def rsh(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_RSH, dst, src)
+
+    def arsh(self, dst: Reg, src) -> "BpfBuilder":
+        return self._alu(isa.BPF_ARSH, dst, src)
+
+    def neg(self, dst: Reg) -> "BpfBuilder":
+        return self._push(Instruction(isa.BPF_ALU64 | isa.BPF_NEG, dst.index))
+
+    def htobe(self, dst: Reg, width: int) -> "BpfBuilder":
+        return self._push(
+            Instruction(isa.BPF_ALU | isa.BPF_END | isa.BPF_TO_BE, dst.index, imm=width)
+        )
+
+    # -- memory ---------------------------------------------------------------------
+    @staticmethod
+    def _size_bits(size: int) -> int:
+        try:
+            return isa.BYTES_TO_SIZE[size]
+        except KeyError:
+            raise AsmError(f"bad access size {size}") from None
+
+    def load(self, dst: Reg, base: Reg, off: int = 0, size: int = 8) -> "BpfBuilder":
+        opcode = isa.BPF_LDX | isa.BPF_MEM | self._size_bits(size)
+        return self._push(Instruction(opcode, dst.index, base.index, off))
+
+    def store(self, base: Reg, off: int, src, size: int = 8) -> "BpfBuilder":
+        bits = self._size_bits(size)
+        if isinstance(src, Reg):
+            opcode = isa.BPF_STX | isa.BPF_MEM | bits
+            return self._push(Instruction(opcode, base.index, src.index, off))
+        opcode = isa.BPF_ST | isa.BPF_MEM | bits
+        return self._push(Instruction(opcode, base.index, off=off, imm=int(src)))
+
+    def load_imm64(self, dst: Reg, value: int) -> "BpfBuilder":
+        return self._push(
+            Instruction(
+                isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, dst.index, imm64=value & isa.U64
+            )
+        )
+
+    def load_map(self, dst: Reg, name: str) -> "BpfBuilder":
+        return self._push(
+            Instruction(
+                isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW,
+                dst.index,
+                isa.BPF_PSEUDO_MAP_FD,
+                imm64=0,
+                map_ref=name,
+            )
+        )
+
+    # -- control flow -----------------------------------------------------------------
+    def _jump(self, op: int, dst: Reg, src, target: Label) -> "BpfBuilder":
+        if isinstance(src, Reg):
+            opcode = isa.BPF_JMP | isa.BPF_X | op
+            pending = _Pending(opcode, dst.index, src.index, 0, target, self._slot)
+        else:
+            opcode = isa.BPF_JMP | isa.BPF_K | op
+            pending = _Pending(opcode, dst.index, 0, int(src), target, self._slot)
+        self._items.append(pending)
+        self._slot += 1
+        return self
+
+    def ja(self, target: Label) -> "BpfBuilder":
+        self._items.append(
+            _Pending(isa.BPF_JMP | isa.BPF_JA, 0, 0, 0, target, self._slot)
+        )
+        self._slot += 1
+        return self
+
+    def jeq(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JEQ, dst, src, target)
+
+    def jne(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JNE, dst, src, target)
+
+    def jgt(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JGT, dst, src, target)
+
+    def jge(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JGE, dst, src, target)
+
+    def jlt(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JLT, dst, src, target)
+
+    def jle(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JLE, dst, src, target)
+
+    def jsgt(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JSGT, dst, src, target)
+
+    def jslt(self, dst: Reg, src, target: Label) -> "BpfBuilder":
+        return self._jump(isa.BPF_JSLT, dst, src, target)
+
+    def call(self, helper) -> "BpfBuilder":
+        """Call a helper by id or by registered name."""
+        if isinstance(helper, str):
+            from .helpers import HELPER_IDS_BY_NAME
+
+            if helper not in HELPER_IDS_BY_NAME:
+                raise AsmError(f"unknown helper {helper!r}")
+            helper = HELPER_IDS_BY_NAME[helper]
+        return self._push(Instruction(isa.BPF_JMP | isa.BPF_CALL, imm=int(helper)))
+
+    def exit(self) -> "BpfBuilder":
+        return self._push(Instruction(isa.BPF_JMP | isa.BPF_EXIT))
+
+    # -- assembly ------------------------------------------------------------------------
+    def _push(self, insn: Instruction) -> "BpfBuilder":
+        self._items.append(insn)
+        self._slot += insn.slots
+        return self
+
+    def build(self) -> list[Instruction]:
+        """Resolve labels and return the instruction list."""
+        insns: list[Instruction] = []
+        for item in self._items:
+            if isinstance(item, _Pending):
+                if item.label.slot is None:
+                    raise AsmError(f"label {item.label.name!r} was never placed")
+                off = item.label.slot - item.slot - 1
+                insns.append(
+                    Instruction(item.opcode, item.dst, item.src, off, item.imm)
+                )
+            else:
+                insns.append(item)
+        return insns

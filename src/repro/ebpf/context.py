@@ -1,0 +1,124 @@
+"""The ``__sk_buff``-like context passed to LWT/seg6local eBPF programs.
+
+The paper's design (§3) gives programs *full read access* to the packet
+from the outermost IPv6 header, but **no direct write access**: all
+mutation goes through the seg6 helpers, which validate every change.  The
+context therefore maps the packet read-only into guest memory and exposes
+a small metadata block, with writes permitted only to ``mark`` and the
+``cb`` scratch area (as for kernel LWT programs).
+
+Guest layout of the context structure::
+
+    offset  size  field       access
+    0x00    u32   len         read-only
+    0x04    u32   protocol    read-only (ETH_P_IPV6)
+    0x08    u32   mark        read-write
+    0x0c    u32   priority    read-only
+    0x10    u64   data        read-only; loads yield a packet pointer
+    0x18    u64   data_end    read-only; loads yield the end-of-packet pointer
+    0x20    u64*5 cb[0..4]    read-write scratch
+
+The verifier enforces this table statically; the runtime context enforces
+it dynamically (defence in depth, like the kernel).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import isa
+from .memory import (
+    CTX_BASE,
+    PACKET_BASE,
+    PROT_READ,
+    PROT_WRITE,
+    STACK_BASE,
+    Memory,
+    Region,
+)
+
+ETH_P_IPV6 = 0x86DD
+
+CTX_SIZE = 0x48
+
+OFF_LEN = 0x00
+OFF_PROTOCOL = 0x04
+OFF_MARK = 0x08
+OFF_PRIORITY = 0x0C
+OFF_DATA = 0x10
+OFF_DATA_END = 0x18
+OFF_CB = 0x20
+CB_SLOTS = 5
+
+# Static access rules consumed by the verifier: offset -> (size, writable, kind)
+# kind: "scalar", "pkt_ptr", "pkt_end_ptr"
+CTX_FIELDS = {
+    OFF_LEN: (4, False, "scalar"),
+    OFF_PROTOCOL: (4, False, "scalar"),
+    OFF_MARK: (4, True, "scalar"),
+    OFF_PRIORITY: (4, False, "scalar"),
+    OFF_DATA: (8, False, "pkt_ptr"),
+    OFF_DATA_END: (8, False, "pkt_end_ptr"),
+}
+for _i in range(CB_SLOTS):
+    CTX_FIELDS[OFF_CB + 8 * _i] = (8, True, "scalar")
+
+
+class SkbContext:
+    """Runtime context bound to one packet for one program invocation."""
+
+    def __init__(self, mem: Memory, packet_bytes: bytes, mark: int = 0):
+        self.mem = mem
+        self.packet_region = mem.add_region(
+            Region(PACKET_BASE, bytearray(packet_bytes), PROT_READ, "packet")
+        )
+        raw = bytearray(CTX_SIZE)
+        struct.pack_into("<I", raw, OFF_LEN, len(packet_bytes) & isa.U32)
+        struct.pack_into("<I", raw, OFF_PROTOCOL, ETH_P_IPV6)
+        struct.pack_into("<I", raw, OFF_MARK, mark & isa.U32)
+        struct.pack_into("<Q", raw, OFF_DATA, PACKET_BASE)
+        struct.pack_into("<Q", raw, OFF_DATA_END, PACKET_BASE + len(packet_bytes))
+        self.ctx_region = mem.add_region(
+            Region(CTX_BASE, raw, PROT_READ | PROT_WRITE, "ctx")
+        )
+        self.stack_region = mem.add_region(
+            Region(STACK_BASE, bytearray(isa.STACK_SIZE), PROT_READ | PROT_WRITE, "stack")
+        )
+
+    # -- addresses handed to the program ------------------------------------
+    @property
+    def ctx_addr(self) -> int:
+        return CTX_BASE
+
+    @property
+    def stack_top(self) -> int:
+        return STACK_BASE + isa.STACK_SIZE
+
+    # -- packet mutation by helpers ------------------------------------------
+    def packet_bytes(self) -> bytes:
+        return bytes(self.packet_region.data)
+
+    def replace_packet(self, new_bytes: bytes) -> None:
+        """Swap the packet contents (helper-mediated growth/shrink).
+
+        The packet region is re-created so ``data``/``data_end`` in the
+        context stay accurate; any packet pointer the program still holds
+        is re-checked against the new bounds on its next use, as in the
+        kernel (where helpers invalidate packet pointers).
+        """
+        region = self.packet_region
+        region.data[:] = new_bytes
+        struct.pack_into("<I", self.ctx_region.data, OFF_LEN, len(new_bytes) & isa.U32)
+        struct.pack_into(
+            "<Q", self.ctx_region.data, OFF_DATA_END, PACKET_BASE + len(new_bytes)
+        )
+
+    # -- metadata read-back after the run --------------------------------------
+    @property
+    def mark(self) -> int:
+        return struct.unpack_from("<I", self.ctx_region.data, OFF_MARK)[0]
+
+    def cb(self, index: int) -> int:
+        if not 0 <= index < CB_SLOTS:
+            raise IndexError("cb index out of range")
+        return struct.unpack_from("<Q", self.ctx_region.data, OFF_CB + 8 * index)[0]

@@ -1,0 +1,91 @@
+"""eBPF disassembler producing text that re-assembles to identical bytecode."""
+
+from __future__ import annotations
+
+from . import isa
+from .errors import EncodingError
+from .insn import Instruction, flatten
+
+
+def disassemble_insn(insn: Instruction, slot: int = 0) -> str:
+    """Render one instruction; jump targets become absolute slot labels."""
+    klass = insn.klass
+
+    if insn.is_lddw:
+        if insn.src_reg == isa.BPF_PSEUDO_MAP_FD:
+            target = insn.map_ref if insn.map_ref else f"fd{insn.imm64}"
+            return f"lddw r{insn.dst_reg}, map:{target}"
+        return f"lddw r{insn.dst_reg}, {insn.imm64:#x}"
+
+    if klass in (isa.BPF_ALU, isa.BPF_ALU64):
+        op = insn.opcode & isa.OP_MASK
+        suffix = "" if klass == isa.BPF_ALU64 else "32"
+        if op == isa.BPF_END:
+            direction = "be" if insn.opcode & isa.BPF_TO_BE else "le"
+            return f"{direction}{insn.imm} r{insn.dst_reg}"
+        name = isa.ALU_OP_NAMES.get(op)
+        if name is None:
+            raise EncodingError(f"bad alu op {insn.opcode:#x}")
+        if op == isa.BPF_NEG:
+            return f"neg{suffix} r{insn.dst_reg}"
+        operand = (
+            f"r{insn.src_reg}" if insn.opcode & isa.BPF_X else str(insn.imm)
+        )
+        return f"{name}{suffix} r{insn.dst_reg}, {operand}"
+
+    if klass == isa.BPF_LDX:
+        size = isa.SIZE_SUFFIX[insn.opcode & isa.SIZE_MASK]
+        return f"ldx{size} r{insn.dst_reg}, [r{insn.src_reg}{insn.off:+d}]"
+
+    if klass == isa.BPF_STX:
+        size = isa.SIZE_SUFFIX[insn.opcode & isa.SIZE_MASK]
+        return f"stx{size} [r{insn.dst_reg}{insn.off:+d}], r{insn.src_reg}"
+
+    if klass == isa.BPF_ST:
+        size = isa.SIZE_SUFFIX[insn.opcode & isa.SIZE_MASK]
+        return f"st{size} [r{insn.dst_reg}{insn.off:+d}], {insn.imm}"
+
+    if klass in (isa.BPF_JMP, isa.BPF_JMP32):
+        op = insn.opcode & isa.OP_MASK
+        suffix = "" if klass == isa.BPF_JMP else "32"
+        if op == isa.BPF_CALL:
+            from .helpers import HELPER_NAMES_BY_ID
+
+            name = HELPER_NAMES_BY_ID.get(insn.imm)
+            return f"call {name}" if name else f"call {insn.imm}"
+        if op == isa.BPF_EXIT:
+            return "exit"
+        target = f"L{slot + 1 + insn.off}"
+        if op == isa.BPF_JA:
+            return f"ja {target}"
+        name = isa.JMP_OP_NAMES.get(op)
+        if name is None:
+            raise EncodingError(f"bad jmp op {insn.opcode:#x}")
+        operand = (
+            f"r{insn.src_reg}" if insn.opcode & isa.BPF_X else str(insn.imm)
+        )
+        return f"{name}{suffix} r{insn.dst_reg}, {operand}, {target}"
+
+    raise EncodingError(f"cannot disassemble opcode {insn.opcode:#x}")
+
+
+def disassemble(insns: list[Instruction]) -> str:
+    """Disassemble a full program with slot labels on jump targets."""
+    slots = flatten(insns)
+    targets: set[int] = set()
+    for slot, insn in enumerate(slots):
+        if insn is None or insn.klass not in (isa.BPF_JMP, isa.BPF_JMP32):
+            continue
+        op = insn.opcode & isa.OP_MASK
+        if op in (isa.BPF_CALL, isa.BPF_EXIT):
+            continue
+        targets.add(slot + 1 + insn.off)
+
+    lines: list[str] = []
+    for slot, insn in enumerate(slots):
+        if insn is None:
+            continue
+        if slot in targets:
+            lines.append(f"L{slot}:")
+        lines.append("    " + disassemble_insn(insn, slot))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,269 @@
+"""Just-in-time compilation of eBPF bytecode to specialised Python.
+
+The kernel JIT removes the interpreter's per-instruction fetch/decode/
+dispatch by emitting native code.  We do the moral equivalent for a Python
+host: each program is translated once into a dedicated Python function in
+which
+
+* registers are local variables (no register-file indexing),
+* instruction semantics are inlined expressions (no dispatch),
+* basic blocks are dispatched by a single integer state variable.
+
+The translated function is exactly semantics-preserving with respect to
+:class:`repro.ebpf.vm.Interpreter`; the test suite runs differential
+checks between the two engines.  The speedup this buys over the
+interpreter is the quantity the paper's §3.2 JIT experiment measures
+(÷1.8 throughput with the JIT disabled).
+"""
+
+from __future__ import annotations
+
+from . import isa
+from .errors import VmFault
+from .helpers import HELPERS_BY_ID, HelperContext
+from .insn import Instruction, flatten
+
+_M64 = "0xFFFFFFFFFFFFFFFF"
+_M32 = "0xFFFFFFFF"
+
+
+def _s64(value: int) -> int:
+    return value - 0x10000000000000000 if value & 0x8000000000000000 else value
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _bswap(value: int, width: int) -> int:
+    nbytes = width // 8
+    return int.from_bytes((value & ((1 << width) - 1)).to_bytes(nbytes, "little"), "big")
+
+
+class JitProgram:
+    """A compiled program; call :meth:`run` like the interpreter."""
+
+    def __init__(self, insns: list[Instruction], helpers=None):
+        self.helpers = helpers if helpers is not None else HELPERS_BY_ID
+        self.source = _translate(insns, self.helpers)
+        namespace = {
+            "_s64": _s64,
+            "_s32": _s32,
+            "_bswap": _bswap,
+            "VmFault": VmFault,
+        }
+        exec(compile(self.source, "<ebpf-jit>", "exec"), namespace)
+        self._fn = namespace["_ebpf_jitted"]
+
+    def run(self, hctx: HelperContext, ctx_addr: int, stack_top: int) -> int:
+        return self._fn(hctx, hctx.mem, self.helpers, ctx_addr, stack_top)
+
+
+def _block_starts(slots) -> list[int]:
+    """Compute basic-block leader slots."""
+    leaders = {0}
+    for pc, insn in enumerate(slots):
+        if insn is None or insn.klass not in (isa.BPF_JMP, isa.BPF_JMP32):
+            continue
+        op = insn.opcode & isa.OP_MASK
+        if op == isa.BPF_CALL:
+            continue
+        if op != isa.BPF_EXIT:
+            leaders.add(pc + 1 + insn.off)
+        if pc + 1 < len(slots):
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def _translate(insns: list[Instruction], helpers) -> str:
+    slots = flatten(insns)
+    leaders = _block_starts(slots)
+    block_id = {pc: i for i, pc in enumerate(leaders)}
+
+    used_helpers = sorted(
+        {insn.imm for insn in insns if insn.opcode == (isa.BPF_JMP | isa.BPF_CALL)}
+    )
+
+    lines = [
+        "def _ebpf_jitted(hctx, mem, helpers, ctx_addr, stack_top):",
+        "    _load = mem.load",
+        "    _store = mem.store",
+    ]
+    for hid in used_helpers:
+        if hid not in helpers:
+            raise VmFault(f"JIT: unknown helper id {hid}")
+        lines.append(f"    _h{hid} = helpers[{hid}]")
+    lines.append(
+        "    r0 = r1 = r2 = r3 = r4 = r5 = r6 = r7 = r8 = r9 = 0"
+    )
+    lines.append("    r1 = ctx_addr")
+    lines.append("    r10 = stack_top")
+    lines.append("    _b = 0")
+    lines.append("    while True:")
+
+    for index, leader in enumerate(leaders):
+        cond = "if" if index == 0 else "elif"
+        lines.append(f"        {cond} _b == {index}:")
+        body = _emit_block(slots, leader, leaders, block_id)
+        lines.extend("            " + stmt for stmt in body)
+
+    lines.append("        else:")
+    lines.append("            raise VmFault('jit dispatch to unknown block %d' % _b)")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_block(slots, start, leaders, block_id) -> list[str]:
+    out: list[str] = []
+    pc = start
+    next_leader_idx = leaders.index(start) + 1
+    block_end = leaders[next_leader_idx] if next_leader_idx < len(leaders) else len(slots)
+
+    while pc < block_end:
+        insn = slots[pc]
+        if insn is None:
+            pc += 1
+            continue
+        klass = insn.klass
+        if klass in (isa.BPF_ALU, isa.BPF_ALU64):
+            out.append(_emit_alu(insn))
+            pc += 1
+        elif klass == isa.BPF_LD:
+            out.append(f"r{insn.dst_reg} = {(insn.imm64 or 0) & isa.U64:#x}")
+            pc += 2
+        elif klass == isa.BPF_LDX:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            out.append(
+                f"r{insn.dst_reg} = _load((r{insn.src_reg} + {insn.off}) & {_M64}, {size})"
+            )
+            pc += 1
+        elif klass == isa.BPF_STX:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            out.append(
+                f"_store((r{insn.dst_reg} + {insn.off}) & {_M64}, {size}, r{insn.src_reg})"
+            )
+            pc += 1
+        elif klass == isa.BPF_ST:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            out.append(
+                f"_store((r{insn.dst_reg} + {insn.off}) & {_M64}, {size}, "
+                f"{insn.imm & isa.U64:#x})"
+            )
+            pc += 1
+        elif klass in (isa.BPF_JMP, isa.BPF_JMP32):
+            op = insn.opcode & isa.OP_MASK
+            if op == isa.BPF_EXIT:
+                out.append("return r0")
+                return out
+            if op == isa.BPF_CALL:
+                out.append(
+                    f"r0 = int(_h{insn.imm}(hctx, r1, r2, r3, r4, r5)) & {_M64}"
+                )
+                pc += 1
+                continue
+            if op == isa.BPF_JA:
+                out.append(f"_b = {block_id[pc + 1 + insn.off]}")
+                out.append("continue")
+                return out
+            cond = _emit_cond(insn)
+            out.append(f"if {cond}:")
+            out.append(f"    _b = {block_id[pc + 1 + insn.off]}")
+            out.append("    continue")
+            out.append(f"_b = {block_id[pc + 1]}")
+            out.append("continue")
+            return out
+        else:
+            raise VmFault(f"JIT: unknown class {klass:#x} at {pc}")
+
+    # Fallthrough into the next block.
+    if pc < len(slots):
+        out.append(f"_b = {block_id[pc]}")
+        out.append("continue")
+    else:
+        out.append("raise VmFault('fell off the end of the program')")
+    return out
+
+
+def _emit_alu(insn: Instruction) -> str:
+    op = insn.opcode & isa.OP_MASK
+    is64 = insn.klass == isa.BPF_ALU64
+    mask = _M64 if is64 else _M32
+    shift_mask = 63 if is64 else 31
+    dst = f"r{insn.dst_reg}"
+
+    if op == isa.BPF_END:
+        if insn.opcode & isa.BPF_TO_BE:
+            return f"{dst} = _bswap({dst}, {insn.imm})"
+        return f"{dst} = {dst} & {(1 << insn.imm) - 1:#x}"
+    if op == isa.BPF_NEG:
+        return f"{dst} = (-{dst}) & {mask}"
+
+    if insn.opcode & isa.BPF_X:
+        src = f"r{insn.src_reg}" if is64 else f"(r{insn.src_reg} & {_M32})"
+    else:
+        value = insn.imm & isa.U64 if is64 else insn.imm & isa.U32
+        src = f"{value:#x}"
+
+    lhs = dst if is64 else f"({dst} & {_M32})"
+
+    if op == isa.BPF_MOV:
+        return f"{dst} = {src}" if is64 else f"{dst} = {src} & {_M32}"
+    if op == isa.BPF_ADD:
+        return f"{dst} = ({lhs} + {src}) & {mask}"
+    if op == isa.BPF_SUB:
+        return f"{dst} = ({lhs} - {src}) & {mask}"
+    if op == isa.BPF_MUL:
+        return f"{dst} = ({lhs} * {src}) & {mask}"
+    if op == isa.BPF_DIV:
+        return f"{dst} = (({lhs} // {src}) & {mask}) if {src} else 0"
+    if op == isa.BPF_MOD:
+        return f"{dst} = (({lhs} % {src}) & {mask}) if {src} else {lhs}"
+    if op == isa.BPF_OR:
+        return f"{dst} = ({lhs} | {src}) & {mask}"
+    if op == isa.BPF_AND:
+        return f"{dst} = {lhs} & {src}"
+    if op == isa.BPF_XOR:
+        return f"{dst} = ({lhs} ^ {src}) & {mask}"
+    if op == isa.BPF_LSH:
+        return f"{dst} = ({lhs} << ({src} & {shift_mask})) & {mask}"
+    if op == isa.BPF_RSH:
+        return f"{dst} = ({lhs} >> ({src} & {shift_mask})) & {mask}"
+    if op == isa.BPF_ARSH:
+        sign = "_s64" if is64 else "_s32"
+        return f"{dst} = ({sign}({lhs}) >> ({src} & {shift_mask})) & {mask}"
+    raise VmFault(f"JIT: unknown ALU op {op:#x}")
+
+
+def _emit_cond(insn: Instruction) -> str:
+    op = insn.opcode & isa.OP_MASK
+    is32 = insn.klass == isa.BPF_JMP32
+    a = f"r{insn.dst_reg}"
+    if insn.opcode & isa.BPF_X:
+        b = f"r{insn.src_reg}"
+    else:
+        b = f"{insn.imm & (isa.U32 if is32 else isa.U64):#x}"
+    if is32:
+        a = f"({a} & {_M32})"
+        b = f"({b} & {_M32})"
+    signed_fn = "_s32" if is32 else "_s64"
+    unsigned = {
+        isa.BPF_JEQ: "==",
+        isa.BPF_JNE: "!=",
+        isa.BPF_JGT: ">",
+        isa.BPF_JGE: ">=",
+        isa.BPF_JLT: "<",
+        isa.BPF_JLE: "<=",
+    }
+    if op in unsigned:
+        return f"{a} {unsigned[op]} {b}"
+    if op == isa.BPF_JSET:
+        return f"({a} & {b}) != 0"
+    signed = {
+        isa.BPF_JSGT: ">",
+        isa.BPF_JSGE: ">=",
+        isa.BPF_JSLT: "<",
+        isa.BPF_JSLE: "<=",
+    }
+    if op in signed:
+        return f"{signed_fn}({a}) {signed[op]} {signed_fn}({b})"
+    raise VmFault(f"JIT: unknown jump op {op:#x}")

@@ -1,0 +1,117 @@
+"""Segmented guest address space for the eBPF virtual machine.
+
+Registers hold 64-bit integers; pointer values are addresses in this guest
+space.  Each invocation assembles a :class:`Memory` out of *regions* — the
+stack, the program context, the packet, and (lazily) map values.  Regions
+carry permissions, so a verified program that somehow computed a wild
+pointer still cannot corrupt the host: all accesses are bounds- and
+permission-checked and raise :class:`MemoryFault` on violation.
+
+Region base addresses are stable across invocations for map values, which
+is what lets eBPF keep persistent state behind map-lookup pointers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from .errors import MemoryFault
+
+# Fixed guest layout.  Addresses are arbitrary but non-overlapping; keeping
+# them well separated makes pointer provenance obvious in VM traces.
+CTX_BASE = 0x0000_1000
+STACK_BASE = 0x0001_0000  # r10 (frame pointer) points at STACK_TOP
+PACKET_BASE = 0x0010_0000
+MAP_VALUE_BASE = 0x1000_0000
+MAP_PTR_BASE = 0x7F00_0000  # opaque map handles (never dereferenced)
+SCRATCH_BASE = 0x2000_0000  # helper-owned buffers (e.g. nexthop lists)
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+
+
+@dataclass
+class Region:
+    """A contiguous, permission-tagged slice of guest memory."""
+
+    base: int
+    data: bytearray
+    prot: int = PROT_READ | PROT_WRITE
+    kind: str = "mem"
+    tag: object = field(default=None, compare=False)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """Bounds-checked guest memory assembled from regions."""
+
+    def __init__(self) -> None:
+        self._bases: list[int] = []
+        self._regions: list[Region] = []
+
+    # -- region management -------------------------------------------------
+    def add_region(self, region: Region) -> Region:
+        idx = bisect.bisect_left(self._bases, region.base)
+        prev_ok = idx == 0 or self._regions[idx - 1].end <= region.base
+        next_ok = idx == len(self._bases) or region.end <= self._bases[idx]
+        if not (prev_ok and next_ok):
+            raise MemoryFault(
+                f"region {region.base:#x}+{len(region.data)} overlaps existing"
+            )
+        self._bases.insert(idx, region.base)
+        self._regions.insert(idx, region)
+        return region
+
+    def find(self, addr: int, size: int = 1) -> Region:
+        """Locate the region holding [addr, addr+size) or fault."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            region = self._regions[idx]
+            if region.contains(addr, size):
+                return region
+        raise MemoryFault(f"access to unmapped guest address {addr:#x} (+{size})")
+
+    def region_by_kind(self, kind: str) -> Region | None:
+        for region in self._regions:
+            if region.kind == kind:
+                return region
+        return None
+
+    # -- scalar accessors ----------------------------------------------------
+    def load(self, addr: int, size: int) -> int:
+        region = self.find(addr, size)
+        if not region.prot & PROT_READ:
+            raise MemoryFault(f"read from non-readable region at {addr:#x}")
+        off = addr - region.base
+        return int.from_bytes(region.data[off : off + size], "little")
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        region = self.find(addr, size)
+        if not region.prot & PROT_WRITE:
+            raise MemoryFault(f"write to read-only region at {addr:#x}")
+        off = addr - region.base
+        region.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    # -- bulk accessors (helpers use these) -----------------------------------
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        region = self.find(addr, size)
+        if not region.prot & PROT_READ:
+            raise MemoryFault(f"read from non-readable region at {addr:#x}")
+        off = addr - region.base
+        return bytes(region.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        region = self.find(addr, len(data))
+        if not region.prot & PROT_WRITE:
+            raise MemoryFault(f"write to read-only region at {addr:#x}")
+        off = addr - region.base
+        region.data[off : off + len(data)] = data

@@ -1,0 +1,141 @@
+"""Program loading: assemble → relocate maps → verify → pick an engine.
+
+A :class:`Program` is the equivalent of a loaded-and-verified kernel BPF
+program: creating one runs the full pipeline and raises
+:class:`~repro.ebpf.errors.VerifierError` on rejection, so an instance in
+hand is always safe to attach to a hook.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from . import isa
+from .asm import assemble
+from .errors import BpfError
+from .helpers import HelperContext, install_map_regions, map_handle_addr
+from .insn import Instruction, flatten
+from .jit import JitProgram
+from .maps import Map
+from .memory import Memory
+from .verifier import Verifier
+from .vm import Interpreter
+
+
+@dataclass
+class ProgramStats:
+    """Counters a loaded program accumulates across invocations."""
+
+    invocations: int = 0
+    total_ns: int = 0
+    last_return: int | None = None
+
+
+class Program:
+    """A verified eBPF program bound to its maps.
+
+    Parameters
+    ----------
+    source:
+        Assembly text (see :mod:`repro.ebpf.asm`) or a pre-built
+        instruction list.
+    maps:
+        Maps referenced by ``lddw rX, map:<name>`` pseudo-instructions.
+    name:
+        Human-readable name for logs and stats.
+    jit:
+        Select the execution engine; mirrors
+        ``/proc/sys/net/core/bpf_jit_enable``.
+    allowed_helpers:
+        Optional whitelist of helper ids (hooks restrict their helper
+        sets); ``None`` allows every registered helper.
+    """
+
+    def __init__(
+        self,
+        source: str | list[Instruction],
+        maps: dict[str, Map] | None = None,
+        name: str = "prog",
+        jit: bool = True,
+        allowed_helpers=None,
+    ):
+        self.name = name
+        self.maps = dict(maps or {})
+        self.jit_enabled = jit
+        insns = assemble(source) if isinstance(source, str) else list(source)
+        self.insns, self.slot_maps = self._relocate(insns)
+        self.maps_by_addr = {
+            map_handle_addr(m): m for m in self.slot_maps.values()
+        }
+        Verifier(
+            self.insns, self.slot_maps, allowed_helpers=allowed_helpers
+        ).verify()
+        self._interp = Interpreter(self.insns)
+        self._jit = JitProgram(self.insns) if jit else None
+        self.stats = ProgramStats()
+
+    # -- loading -------------------------------------------------------------
+    def _relocate(self, insns: list[Instruction]):
+        """Resolve ``map:<name>`` references to opaque guest handles."""
+        out: list[Instruction] = []
+        slot_maps: dict[int, Map] = {}
+        slot = 0
+        for insn in insns:
+            if insn.is_lddw and insn.map_ref is not None:
+                map_obj = self.maps.get(insn.map_ref)
+                if map_obj is None:
+                    raise BpfError(
+                        f"program {self.name!r} references unknown map "
+                        f"{insn.map_ref!r}"
+                    )
+                insn = Instruction(
+                    insn.opcode,
+                    insn.dst_reg,
+                    isa.BPF_PSEUDO_MAP_FD,
+                    insn.off,
+                    0,
+                    imm64=map_handle_addr(map_obj),
+                    map_ref=insn.map_ref,
+                )
+                slot_maps[slot] = map_obj
+            elif insn.is_lddw and insn.src_reg == isa.BPF_PSEUDO_MAP_FD:
+                raise BpfError("pseudo map lddw without map_ref")
+            out.append(insn)
+            slot += insn.slots
+        return out, slot_maps
+
+    @property
+    def num_insns(self) -> int:
+        return len(flatten(self.insns))
+
+    # -- execution ---------------------------------------------------------
+    def make_context(
+        self,
+        packet_bytes: bytes,
+        clock_ns=lambda: 0,
+        rng: random.Random | None = None,
+        mark: int = 0,
+    ) -> HelperContext:
+        """Build a fresh invocation context for ``packet_bytes``."""
+        from .context import SkbContext
+
+        mem = Memory()
+        skb = SkbContext(mem, packet_bytes, mark=mark)
+        install_map_regions(mem, self.maps_by_addr)
+        hctx = HelperContext(mem, skb, self.maps_by_addr, clock_ns, rng)
+        return hctx
+
+    def run(self, hctx: HelperContext) -> int:
+        """Execute with the configured engine; returns R0."""
+        skb = hctx.skb
+        engine = self._jit if self.jit_enabled and self._jit is not None else self._interp
+        ret = engine.run(hctx, skb.ctx_addr, skb.stack_top)
+        self.stats.invocations += 1
+        self.stats.last_return = ret
+        return ret
+
+    def run_on_packet(self, packet_bytes: bytes, **kwargs) -> tuple[int, HelperContext]:
+        """Convenience: build a context, run, return (retval, context)."""
+        hctx = self.make_context(packet_bytes, **kwargs)
+        return self.run(hctx), hctx

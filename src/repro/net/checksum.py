@@ -1,0 +1,59 @@
+"""Internet checksum (RFC 1071) with the IPv6 pseudo-header (RFC 8200 §8.1).
+
+UDP, TCP and ICMPv6 over IPv6 all checksum their payload together with a
+pseudo-header of source address, destination address, upper-layer length
+and next-header value.
+"""
+
+from __future__ import annotations
+
+import array
+import sys
+
+_NEEDS_SWAP = sys.byteorder == "little"
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """16-bit one's-complement sum of ``data`` (padded to even length).
+
+    Computed over native-endian 16-bit words (the one's-complement sum is
+    byte-order independent up to a final byte swap), which lets the inner
+    loop run in C via :mod:`array`.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = sum(array.array("H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    if _NEEDS_SWAP:
+        total = ((total >> 8) | (total << 8)) & 0xFFFF
+    return total
+
+
+def checksum(data: bytes) -> int:
+    """Final internet checksum of ``data``."""
+    return ~ones_complement_sum(data) & 0xFFFF
+
+
+def pseudo_header(src: bytes, dst: bytes, length: int, next_header: int) -> bytes:
+    """The IPv6 pseudo-header used by upper-layer checksums."""
+    return src + dst + length.to_bytes(4, "big") + b"\x00\x00\x00" + bytes([next_header])
+
+
+def l4_checksum(src: bytes, dst: bytes, next_header: int, payload: bytes) -> int:
+    """Checksum of an upper-layer ``payload`` under the IPv6 pseudo-header.
+
+    ``payload`` must have its checksum field zeroed.  A result of 0 is
+    transmitted as 0xFFFF for UDP (RFC 8200: all-zero means "no checksum",
+    which IPv6 forbids for UDP).
+    """
+    value = checksum(pseudo_header(src, dst, len(payload), next_header) + payload)
+    return value
+
+
+def verify_l4(src: bytes, dst: bytes, next_header: int, segment: bytes) -> bool:
+    """True when ``segment`` (checksum field included) checksums to zero."""
+    total = ones_complement_sum(
+        pseudo_header(src, dst, len(segment), next_header) + segment
+    )
+    return total == 0xFFFF

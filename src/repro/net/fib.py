@@ -1,0 +1,132 @@
+"""Forwarding Information Base: longest-prefix match with ECMP.
+
+Routes live in numbered tables (the main table is 254, as in Linux);
+``End.T`` and ``End.DT6`` perform lookups in specific tables (§2 of the
+paper), and the §4.3 ``End.OAMP`` helper queries a destination's full
+ECMP nexthop set.
+
+Nexthop selection among equal-cost routes is by flow hash modulo the
+nexthop count (RFC 2992 hash-threshold style), so a flow sticks to one
+path while different flows spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .addr import as_addr, ntop, parse_prefix, prefix_bits
+
+MAIN_TABLE = 254
+LOCAL_TABLE = 255
+
+
+@dataclass
+class Nexthop:
+    """One way out: an optional gateway and the emitting device."""
+
+    via: bytes | None = None
+    dev: str | None = None
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.via is not None:
+            self.via = as_addr(self.via)
+        if self.via is None and self.dev is None:
+            raise ValueError("nexthop needs a gateway or a device")
+
+    def __str__(self) -> str:
+        via = ntop(self.via) if self.via else "onlink"
+        return f"via {via} dev {self.dev}"
+
+
+@dataclass
+class Route:
+    """A FIB entry.
+
+    ``encap`` is an optional lightweight-tunnel state object
+    (:class:`repro.net.seg6.Seg6Encap`,
+    :class:`repro.net.seg6local.Seg6LocalAction` or
+    :class:`repro.net.lwt_bpf.BpfLwt`); ``local`` marks local delivery.
+    """
+
+    prefix: bytes
+    prefixlen: int
+    nexthops: list[Nexthop] = field(default_factory=list)
+    encap: object | None = None
+    local: bool = False
+    metric: int = 1024
+    table: int = MAIN_TABLE
+
+    def __post_init__(self) -> None:
+        self.prefix = as_addr(self.prefix)
+
+    def select_nexthop(self, flow_hash: int) -> Nexthop | None:
+        if not self.nexthops:
+            return None
+        if len(self.nexthops) == 1:
+            return self.nexthops[0]
+        expanded: list[Nexthop] = []
+        for nh in self.nexthops:
+            expanded.extend([nh] * max(1, nh.weight))
+        return expanded[flow_hash % len(expanded)]
+
+    def __str__(self) -> str:
+        kind = "local" if self.local else (type(self.encap).__name__ if self.encap else "unicast")
+        return f"{ntop(self.prefix)}/{self.prefixlen} [{kind}] nhops={len(self.nexthops)}"
+
+
+class FibTable:
+    """One routing table with longest-prefix-match lookup."""
+
+    def __init__(self, table_id: int = MAIN_TABLE):
+        self.table_id = table_id
+        self._by_len: dict[int, dict[int, Route]] = {}
+        self._lengths: list[int] = []  # descending
+
+    def add(self, route: Route) -> Route:
+        route.table = self.table_id
+        bucket = self._by_len.setdefault(route.prefixlen, {})
+        bucket[prefix_bits(route.prefix, route.prefixlen)] = route
+        if route.prefixlen not in self._lengths:
+            self._lengths.append(route.prefixlen)
+            self._lengths.sort(reverse=True)
+        return route
+
+    def remove(self, prefix: bytes | str, prefixlen: int) -> None:
+        prefix = as_addr(prefix)
+        bucket = self._by_len.get(prefixlen)
+        if not bucket:
+            raise KeyError(f"no route {ntop(prefix)}/{prefixlen}")
+        del bucket[prefix_bits(prefix, prefixlen)]
+        if not bucket:
+            del self._by_len[prefixlen]
+            self._lengths.remove(prefixlen)
+
+    def lookup(self, dst: bytes) -> Route | None:
+        """Longest-prefix match for ``dst``."""
+        for prefixlen in self._lengths:
+            bucket = self._by_len[prefixlen]
+            route = bucket.get(prefix_bits(dst, prefixlen))
+            if route is not None:
+                return route
+        return None
+
+    def ecmp_nexthops(self, dst: bytes) -> list[Nexthop]:
+        """All equal-cost nexthops toward ``dst`` (the End.OAMP query, §4.3)."""
+        route = self.lookup(dst)
+        return list(route.nexthops) if route else []
+
+    def routes(self) -> list[Route]:
+        out = []
+        for bucket in self._by_len.values():
+            out.extend(bucket.values())
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_len.values())
+
+
+def route_from_text(prefix: str, **kwargs) -> Route:
+    """Convenience: ``route_from_text("fc00:1::/64", nexthops=[...])``."""
+    network, prefixlen = parse_prefix(prefix)
+    return Route(prefix=network, prefixlen=prefixlen, **kwargs)

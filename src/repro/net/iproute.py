@@ -1,0 +1,212 @@
+"""iproute2-style configuration front-end.
+
+Linux operators deploy the paper's system with ``ip -6 route`` commands::
+
+    ip -6 route add fc00::100/128 encap seg6local action End.BPF \\
+            endpoint obj prog.o sec main dev eth0
+    ip -6 route add fc00:2::/64 encap seg6 mode encap \\
+            segs fc00::a,fc00::b dev eth1
+
+:class:`IpRoute` accepts the same textual syntax against a simulated
+:class:`~repro.net.node.Node`, so configurations translate between the
+real system and this reproduction nearly verbatim.  eBPF objects are
+referenced by name out of a registry of loaded
+:class:`~repro.ebpf.program.Program` objects (there is no ELF loader —
+programs come from :mod:`repro.ebpf.asm`).
+"""
+
+from __future__ import annotations
+
+from ..ebpf import Program
+from .fib import MAIN_TABLE, Nexthop, Route
+from .lwt_bpf import BpfLwt
+from .node import Node
+from .seg6 import SEG6_MODE_ENCAP, SEG6_MODE_INLINE, Seg6Encap
+from .seg6local import (
+    End,
+    EndB6,
+    EndB6Encaps,
+    EndBPF,
+    EndDT6,
+    EndDX6,
+    EndT,
+    EndX,
+)
+
+
+class IpRouteError(ValueError):
+    """Raised on a syntax or semantic error in a command."""
+
+
+class _Tokens:
+    """A consumable token stream with keyword lookups."""
+
+    def __init__(self, text: str):
+        self.tokens = text.split()
+        self.pos = 0
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if not self.done() else None
+
+    def take(self, what: str = "token") -> str:
+        if self.done():
+            raise IpRouteError(f"expected {what}, found end of command")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def take_keyword(self, keyword: str) -> None:
+        token = self.take(keyword)
+        if token != keyword:
+            raise IpRouteError(f"expected {keyword!r}, got {token!r}")
+
+
+class IpRoute:
+    """``ip -6``-style command interface bound to one node.
+
+    ``objects`` maps eBPF object names (the ``obj <name>`` argument) to
+    loaded :class:`Program` instances.
+    """
+
+    def __init__(self, node: Node, objects: dict[str, Program] | None = None):
+        self.node = node
+        self.objects = dict(objects or {})
+
+    # -- public commands ------------------------------------------------------
+    def addr_add(self, spec: str) -> None:
+        """``addr_add("fc00::1 dev eth0")`` — the dev is accepted and
+        ignored (addresses are node-global here, as for loopback SIDs)."""
+        tokens = _Tokens(spec)
+        addr = tokens.take("address")
+        if not tokens.done():
+            tokens.take_keyword("dev")
+            tokens.take("device")
+        self.node.add_address(addr.split("/")[0])
+
+    def route_add(self, spec: str) -> Route:
+        """Parse and install one ``ip -6 route add`` body."""
+        tokens = _Tokens(spec)
+        prefix = tokens.take("prefix")
+        if "/" not in prefix:
+            prefix += "/128"
+
+        encap = None
+        via = None
+        dev = None
+        table_id = MAIN_TABLE
+        nexthops: list[Nexthop] = []
+
+        while not tokens.done():
+            keyword = tokens.take()
+            if keyword == "encap":
+                encap = self._parse_encap(tokens)
+            elif keyword == "via":
+                via = tokens.take("gateway")
+            elif keyword == "dev":
+                dev = tokens.take("device")
+            elif keyword == "table":
+                table_id = int(tokens.take("table id"))
+            elif keyword == "metric":
+                tokens.take("metric")  # accepted, unused
+            elif keyword == "nexthop":
+                nexthops.append(self._parse_nexthop(tokens))
+            else:
+                raise IpRouteError(f"unknown keyword {keyword!r}")
+
+        if nexthops and (via or dev):
+            raise IpRouteError("use either 'nexthop' blocks or via/dev, not both")
+        if nexthops:
+            return self.node.add_route(
+                prefix, nexthops=nexthops, encap=encap, table_id=table_id
+            )
+        return self.node.add_route(
+            prefix, via=via, dev=dev, encap=encap, table_id=table_id
+        )
+
+    # -- encap parsing ------------------------------------------------------------
+    def _parse_encap(self, tokens: _Tokens):
+        kind = tokens.take("encap type")
+        if kind == "seg6":
+            return self._parse_seg6(tokens)
+        if kind == "seg6local":
+            return self._parse_seg6local(tokens)
+        if kind == "bpf":
+            return self._parse_bpf(tokens)
+        raise IpRouteError(f"unknown encap type {kind!r}")
+
+    def _parse_seg6(self, tokens: _Tokens) -> Seg6Encap:
+        tokens.take_keyword("mode")
+        mode = tokens.take("mode")
+        if mode not in (SEG6_MODE_ENCAP, SEG6_MODE_INLINE):
+            raise IpRouteError(f"unknown seg6 mode {mode!r}")
+        tokens.take_keyword("segs")
+        segments = tokens.take("segment list").split(",")
+        return Seg6Encap(segments=segments, mode=mode)
+
+    def _parse_seg6local(self, tokens: _Tokens):
+        tokens.take_keyword("action")
+        action = tokens.take("action name")
+        if action == "End":
+            return End()
+        if action == "End.X":
+            tokens.take_keyword("nh6")
+            return EndX(nh6=tokens.take("nexthop"))
+        if action == "End.T":
+            tokens.take_keyword("table")
+            return EndT(table_id=int(tokens.take("table id")))
+        if action == "End.DT6":
+            tokens.take_keyword("table")
+            return EndDT6(table_id=int(tokens.take("table id")))
+        if action == "End.DX6":
+            tokens.take_keyword("nh6")
+            return EndDX6(nh6=tokens.take("nexthop"))
+        if action == "End.B6":
+            tokens.take_keyword("srh")
+            tokens.take_keyword("segs")
+            return EndB6(segments=tokens.take("segment list").split(","))
+        if action == "End.B6.Encaps":
+            tokens.take_keyword("srh")
+            tokens.take_keyword("segs")
+            return EndB6Encaps(segments=tokens.take("segment list").split(","))
+        if action == "End.BPF":
+            tokens.take_keyword("endpoint")
+            return EndBPF(self._take_object(tokens))
+        raise IpRouteError(f"unknown seg6local action {action!r}")
+
+    def _parse_bpf(self, tokens: _Tokens) -> BpfLwt:
+        programs = {}
+        while tokens.peek() in ("in", "out", "xmit"):
+            hook = tokens.take()
+            programs[f"prog_{hook}"] = self._take_object(tokens)
+        if not programs:
+            raise IpRouteError("encap bpf needs at least one of in/out/xmit")
+        return BpfLwt(**programs)
+
+    def _take_object(self, tokens: _Tokens) -> Program:
+        tokens.take_keyword("obj")
+        name = tokens.take("object name")
+        # iproute2 follows with "sec <section>"; accept and ignore it.
+        if tokens.peek() in ("sec", "section"):
+            tokens.take()
+            tokens.take("section name")
+        program = self.objects.get(name)
+        if program is None:
+            raise IpRouteError(f"no loaded eBPF object named {name!r}")
+        return program
+
+    def _parse_nexthop(self, tokens: _Tokens) -> Nexthop:
+        via = None
+        dev = None
+        weight = 1
+        while tokens.peek() in ("via", "dev", "weight"):
+            keyword = tokens.take()
+            if keyword == "via":
+                via = tokens.take("gateway")
+            elif keyword == "dev":
+                dev = tokens.take("device")
+            else:
+                weight = int(tokens.take("weight"))
+        return Nexthop(via=via, dev=dev, weight=weight)

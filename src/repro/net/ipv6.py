@@ -1,0 +1,83 @@
+"""IPv6 fixed header (RFC 8200) in wire format."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .addr import as_addr, ntop
+
+IPV6_HEADER_LEN = 40
+
+# Next-header protocol numbers used in this stack.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_IPV6 = 41  # IPv6-in-IPv6 encapsulation
+PROTO_ROUTING = 43  # routing extension header (the SRH is type 4)
+PROTO_ICMPV6 = 58
+PROTO_NONE = 59
+
+DEFAULT_HOP_LIMIT = 64
+
+
+@dataclass
+class IPv6Header:
+    """Parsed IPv6 fixed header; ``pack``/``parse`` are exact inverses."""
+
+    src: bytes
+    dst: bytes
+    next_header: int = PROTO_NONE
+    payload_length: int = 0
+    hop_limit: int = DEFAULT_HOP_LIMIT
+    traffic_class: int = 0
+    flow_label: int = 0
+    version: int = field(default=6)
+
+    def __post_init__(self) -> None:
+        self.src = as_addr(self.src)
+        self.dst = as_addr(self.dst)
+        if not 0 <= self.flow_label < (1 << 20):
+            raise ValueError(f"flow label out of range: {self.flow_label}")
+        if not 0 <= self.traffic_class < 256:
+            raise ValueError(f"traffic class out of range: {self.traffic_class}")
+
+    def pack(self) -> bytes:
+        word0 = (self.version << 28) | (self.traffic_class << 20) | self.flow_label
+        return (
+            struct.pack(
+                ">IHBB", word0, self.payload_length, self.next_header, self.hop_limit
+            )
+            + self.src
+            + self.dst
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv6Header":
+        if len(data) < IPV6_HEADER_LEN:
+            raise ValueError(f"short IPv6 header: {len(data)} bytes")
+        word0, payload_length, next_header, hop_limit = struct.unpack_from(">IHBB", data)
+        version = word0 >> 28
+        if version != 6:
+            raise ValueError(f"not an IPv6 packet (version {version})")
+        return cls(
+            src=data[8:24],
+            dst=data[24:40],
+            next_header=next_header,
+            payload_length=payload_length,
+            hop_limit=hop_limit,
+            traffic_class=(word0 >> 20) & 0xFF,
+            flow_label=word0 & 0xFFFFF,
+            version=version,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"IPv6 {ntop(self.src)} -> {ntop(self.dst)} nh={self.next_header} "
+            f"plen={self.payload_length} hlim={self.hop_limit}"
+        )
+
+
+def build_packet(header: IPv6Header, payload: bytes) -> bytes:
+    """Serialise header+payload, fixing up ``payload_length``."""
+    header.payload_length = len(payload)
+    return header.pack() + payload

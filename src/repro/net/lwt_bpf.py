@@ -1,0 +1,78 @@
+"""BPF LWT: eBPF programs attached to routes (the transit-side hook).
+
+§2.1 of the paper: *"a lightweight tunnel infrastructure named BPF LWT
+provides generic hooks in several network layers ... at the ingress and
+the egress of the routing process"*.  The paper's delay-measurement
+sampler and the hybrid-access WRR scheduler both attach here and call
+``bpf_lwt_push_encap`` to wrap matching traffic in an SRH (§4.1, §4.2).
+
+A :class:`BpfLwt` is installed as a route's ``encap``; the node runs its
+``prog_in`` when the route is selected on input, and ``prog_out`` /
+``prog_xmit`` on output.  Return codes follow §3.1 (OK / DROP /
+REDIRECT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ebpf import BPF_DROP, BPF_OK, BPF_REDIRECT, Program
+from ..ebpf.errors import BpfError, VmFault
+from .packet import Packet
+from .seg6local import Disposition
+
+
+@dataclass
+class BpfLwt:
+    """Route-attached eBPF programs for the in/out/xmit LWT hooks."""
+
+    prog_in: Program | None = None
+    prog_out: Program | None = None
+    prog_xmit: Program | None = None
+    stats: dict = field(
+        default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0}
+    )
+
+    def has_output_stage(self) -> bool:
+        return self.prog_out is not None or self.prog_xmit is not None
+
+    def run_hook(self, hook: str, pkt: Packet, node) -> Disposition:
+        """Execute the program bound to ``hook``; default is pass-through."""
+        program = {
+            "lwt_in": self.prog_in,
+            "lwt_out": self.prog_out,
+            "lwt_xmit": self.prog_xmit,
+        }.get(hook)
+        if program is None:
+            return Disposition.forward()
+
+        hctx = program.make_context(
+            bytes(pkt.data), clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
+        )
+        hctx.packet = pkt
+        hctx.node = node
+        hctx.hook = hook
+        try:
+            ret = program.run(hctx)
+        except (VmFault, BpfError) as exc:
+            self.stats["errors"] += 1
+            node.log(f"BPF LWT program fault on {hook}: {exc}")
+            return Disposition.drop(f"program fault: {exc}")
+
+        new_bytes = hctx.skb.packet_bytes()
+        if new_bytes != bytes(pkt.data):
+            pkt.data = bytearray(new_bytes)
+        pkt.mark = hctx.skb.mark
+
+        if ret == BPF_OK:
+            self.stats["ok"] += 1
+            return Disposition.forward()
+        if ret == BPF_REDIRECT:
+            self.stats["redirect"] += 1
+            return Disposition.forward(
+                table_id=hctx.metadata.get("redirect_table"),
+                nh6=hctx.metadata.get("redirect_nh6"),
+            )
+        self.stats["drop"] += 1
+        reason = "BPF_DROP" if ret == BPF_DROP else f"unknown BPF return {ret}"
+        return Disposition.drop(reason)

@@ -1,0 +1,62 @@
+"""Network devices: the attachment points between nodes and links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import Packet
+
+
+@dataclass
+class DevStats:
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_dropped: int = 0
+
+
+@dataclass
+class NetDev:
+    """A device owned by a node.
+
+    When attached to a :class:`repro.sim.link.Link` endpoint, transmitted
+    packets enter the simulated wire; otherwise they accumulate in
+    ``tx_buffer`` (which is what the direct-datapath microbenchmarks and
+    unit tests read).
+    """
+
+    name: str
+    node: object = None
+    link_endpoint: object = None  # set by repro.sim.link.Link.attach
+    qdisc: object = None  # optional netem/tbf discipline applied at egress
+    mtu: int = 1500
+    stats: DevStats = field(default_factory=DevStats)
+    tx_buffer: list[Packet] = field(default_factory=list)
+
+    def transmit(self, pkt: Packet) -> None:
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += len(pkt)
+        if self.qdisc is not None:
+            self.qdisc.enqueue(pkt, self)
+            return
+        self._emit(pkt)
+
+    def _emit(self, pkt: Packet) -> None:
+        """Hand the packet to the wire (or the test buffer)."""
+        if self.link_endpoint is not None:
+            self.link_endpoint.send(pkt)
+        else:
+            self.tx_buffer.append(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        """Called by the link when a packet arrives at this device."""
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += len(pkt)
+        pkt.input_dev = self.name
+        if self.node is not None:
+            self.node.receive(pkt, self)
+
+    def __str__(self) -> str:
+        owner = getattr(self.node, "name", "?")
+        return f"{owner}:{self.name}"

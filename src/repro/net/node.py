@@ -1,0 +1,325 @@
+"""Node datapath: receive → route → lightweight tunnels → transmit.
+
+A :class:`Node` models one Linux box (host or router): devices, numbered
+routing tables, local addresses, and the IPv6 forwarding pipeline with
+its lwtunnel attachment points:
+
+* input: a matched route carrying a :class:`~repro.net.seg6local.Seg6LocalAction`
+  consumes the packet (this is how local segments — including ``End.BPF``
+  ones — are installed, §3); a ``BpfLwt`` runs its ``lwt_in`` program;
+* output: a matched route carrying a :class:`~repro.net.seg6.Seg6Encap`
+  pushes an SRH; a ``BpfLwt`` runs ``lwt_out``/``lwt_xmit`` (this is
+  where the paper's DM sampler and WRR scheduler live, §4.1–4.2);
+* hop-limit expiry generates ICMPv6 Time Exceeded (what legacy
+  traceroute relies on, §4.3).
+
+Packets whose headers were rewritten by a tunnel re-enter the routing
+decision (re-circulation), with a budget against misconfiguration loops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .addr import as_addr, ntop, parse_prefix
+from .fib import MAIN_TABLE, FibTable, Nexthop, Route
+from .icmpv6 import Icmpv6Message, dest_unreachable, echo_reply, time_exceeded
+from .ipv6 import IPV6_HEADER_LEN, PROTO_ICMPV6, PROTO_TCP, PROTO_UDP
+from .lwt_bpf import BpfLwt
+from .netdev import NetDev
+from .packet import Packet, make_icmpv6_packet
+from .seg6 import Seg6Encap
+from .seg6local import Disposition, Seg6LocalAction
+
+_RECIRCULATION_BUDGET = 8
+
+
+@dataclass
+class NodeCounters:
+    rx: int = 0
+    tx: int = 0
+    forwarded: int = 0
+    delivered_local: int = 0
+    dropped: int = 0
+    no_route: int = 0
+    hop_limit_exceeded: int = 0
+    seg6local_processed: int = 0
+    bpf_dropped: int = 0
+
+
+@dataclass
+class Listener:
+    """A bound 'socket': called with (packet, node) on local delivery."""
+
+    callback: Callable[[Packet, "Node"], None]
+    proto: int
+    port: int | None = None
+
+
+class Node:
+    """One simulated Linux host/router."""
+
+    def __init__(
+        self,
+        name: str,
+        clock_ns: Callable[[], int] | None = None,
+        seed: int | None = None,
+    ):
+        self.name = name
+        self.clock_ns = clock_ns or (lambda: 0)
+        self.rng = random.Random(seed if seed is not None else hash(name) & 0xFFFF)
+        self.devices: dict[str, NetDev] = {}
+        self.tables: dict[int, FibTable] = {MAIN_TABLE: FibTable(MAIN_TABLE)}
+        self.addresses: list[bytes] = []
+        self.listeners: list[Listener] = []
+        self.counters = NodeCounters()
+        self.cpu = None  # optional repro.sim.cpu.CpuQueue for DES experiments
+        self.log_messages: list[str] = []
+        self.answer_echo = True
+
+    # -- configuration ------------------------------------------------------
+    def add_device(self, name: str) -> NetDev:
+        if name in self.devices:
+            raise ValueError(f"{self.name}: device {name!r} already exists")
+        dev = NetDev(name=name, node=self)
+        self.devices[name] = dev
+        return dev
+
+    def add_address(self, addr: bytes | str) -> None:
+        addr = as_addr(addr)
+        if addr not in self.addresses:
+            self.addresses.append(addr)
+        self.table().add(Route(prefix=addr, prefixlen=128, local=True))
+
+    def primary_address(self) -> bytes:
+        if not self.addresses:
+            return bytes(16)
+        return self.addresses[0]
+
+    def table(self, table_id: int = MAIN_TABLE) -> FibTable:
+        if table_id not in self.tables:
+            self.tables[table_id] = FibTable(table_id)
+        return self.tables[table_id]
+
+    def main_table(self) -> FibTable:
+        return self.tables[MAIN_TABLE]
+
+    def add_route(
+        self,
+        prefix: str,
+        nexthops: list[Nexthop] | None = None,
+        via: bytes | str | None = None,
+        dev: str | None = None,
+        encap: object | None = None,
+        local: bool = False,
+        table_id: int = MAIN_TABLE,
+    ) -> Route:
+        """Install a route; mirrors ``ip -6 route add``.
+
+        Either pass explicit ``nexthops`` (ECMP) or a single ``via``/``dev``
+        pair.  ``encap`` attaches a lightweight tunnel (Seg6Encap,
+        Seg6LocalAction subclass, or BpfLwt).
+        """
+        network, prefixlen = parse_prefix(prefix)
+        if nexthops is None:
+            nexthops = []
+            if via is not None or dev is not None:
+                nexthops.append(Nexthop(via=via, dev=dev))
+        route = Route(
+            prefix=network,
+            prefixlen=prefixlen,
+            nexthops=nexthops,
+            encap=encap,
+            local=local,
+        )
+        return self.table(table_id).add(route)
+
+    def bind(
+        self,
+        callback: Callable[[Packet, "Node"], None],
+        proto: int = PROTO_UDP,
+        port: int | None = None,
+    ) -> Listener:
+        listener = Listener(callback, proto, port)
+        self.listeners.append(listener)
+        return listener
+
+    def log(self, message: str) -> None:
+        self.log_messages.append(message)
+
+    # -- datapath entry points ---------------------------------------------------
+    def receive(self, pkt: Packet, dev: NetDev | None = None) -> None:
+        """A packet arrived from the wire on ``dev``."""
+        pkt.rx_tstamp_ns = self.clock_ns()
+        self.counters.rx += 1
+        if self.cpu is not None:
+            self.cpu.submit(pkt, self._input)
+        else:
+            self._input(pkt)
+
+    def send(self, pkt: Packet) -> None:
+        """Transmit a locally originated packet."""
+        self._dispatch(pkt, decrement=False)
+
+    # -- internals --------------------------------------------------------------
+    def _input(self, pkt: Packet) -> None:
+        if len(pkt.data) < IPV6_HEADER_LEN:
+            self.counters.dropped += 1
+            return
+        self._dispatch(pkt, decrement=True)
+
+    def _dispatch(
+        self,
+        pkt: Packet,
+        decrement: bool,
+        table_id: int | None = None,
+        nh6: bytes | None = None,
+    ) -> None:
+        """Route the packet and apply tunnels until it leaves or dies."""
+        decremented = False
+        for _ in range(_RECIRCULATION_BUDGET):
+            lookup_dst = nh6 if nh6 is not None else pkt.dst
+            route = self.table(table_id or MAIN_TABLE).lookup(lookup_dst)
+            if route is None:
+                self.counters.no_route += 1
+                self.counters.dropped += 1
+                return
+
+            encap = route.encap
+            if isinstance(encap, Seg6LocalAction):
+                self.counters.seg6local_processed += 1
+                disposition = encap.process(pkt, self)
+                outcome = self._apply_disposition(disposition, pkt)
+                if outcome is None:
+                    return
+                table_id, nh6 = outcome
+                continue
+
+            if isinstance(encap, BpfLwt) and encap.prog_in is not None and not decremented:
+                disposition = encap.run_hook("lwt_in", pkt, self)
+                outcome = self._apply_disposition(disposition, pkt)
+                if outcome is None:
+                    return
+                table_id, nh6 = outcome
+                if table_id is not None or nh6 is not None or pkt.dst != lookup_dst:
+                    continue
+
+            if route.local:
+                self._deliver_local(pkt)
+                return
+
+            if decrement and not decremented:
+                decremented = True
+                if pkt.decrement_hop_limit() == 0:
+                    self.counters.hop_limit_exceeded += 1
+                    self._send_time_exceeded(pkt)
+                    return
+                self.counters.forwarded += 1
+
+            if isinstance(encap, Seg6Encap):
+                pkt.data = bytearray(encap.apply(bytes(pkt.data), self.primary_address()))
+                table_id, nh6 = None, None
+                continue
+
+            if isinstance(encap, BpfLwt) and encap.has_output_stage():
+                old_dst = pkt.dst
+                for hook in ("lwt_out", "lwt_xmit"):
+                    disposition = encap.run_hook(hook, pkt, self)
+                    outcome = self._apply_disposition(disposition, pkt)
+                    if outcome is None:
+                        return
+                    table_id, nh6 = outcome
+                if table_id is not None or nh6 is not None or pkt.dst != old_dst:
+                    continue
+
+            self._transmit(pkt, route, nh6)
+            return
+        self.log("re-circulation budget exceeded; dropping")
+        self.counters.dropped += 1
+
+    def _apply_disposition(
+        self, disposition: Disposition, pkt: Packet
+    ) -> tuple[int | None, bytes | None] | None:
+        """None = packet consumed; otherwise (table_id, nh6) to re-route."""
+        if disposition.action == "drop":
+            self.counters.dropped += 1
+            self.counters.bpf_dropped += "BPF" in disposition.reason
+            return None
+        if disposition.action == "local":
+            self._deliver_local(pkt)
+            return None
+        return disposition.table_id, disposition.nh6
+
+    def _transmit(self, pkt: Packet, route: Route, nh6: bytes | None) -> None:
+        nexthop = route.select_nexthop(pkt.flow_hash())
+        if nexthop is None or nexthop.dev not in self.devices:
+            self.counters.dropped += 1
+            return
+        pkt.trace.append(self.name)
+        self.counters.tx += 1
+        self.devices[nexthop.dev].transmit(pkt)
+
+    # -- local delivery -------------------------------------------------------------
+    def _deliver_local(self, pkt: Packet) -> None:
+        self.counters.delivered_local += 1
+        l4 = pkt.l4()
+        if l4 is None:
+            return
+        proto, _sport, dport = l4
+        if proto == PROTO_ICMPV6 and self._handle_icmp(pkt):
+            return
+        matched = False
+        for listener in self.listeners:
+            if listener.proto != proto:
+                continue
+            if listener.port is not None and proto in (PROTO_UDP, PROTO_TCP):
+                if listener.port != dport:
+                    continue
+            matched = True
+            listener.callback(pkt, self)
+        if not matched and proto == PROTO_UDP and self.addresses:
+            # No socket bound: ICMPv6 Destination Unreachable (port), which
+            # is how traceroute detects that its probe reached the target.
+            error = make_icmpv6_packet(
+                src=self.primary_address(),
+                dst=pkt.src,
+                message=dest_unreachable(bytes(pkt.data), code=4),
+            )
+            self.send(error)
+
+    def _handle_icmp(self, pkt: Packet) -> bool:
+        """Answer Echo Requests; other ICMP goes to listeners."""
+        info = pkt._l4_offset()
+        if info is None:
+            return False
+        _proto, offset = info
+        try:
+            message = Icmpv6Message.parse(bytes(pkt.data), offset)
+        except ValueError:
+            return False
+        if message.msg_type == 128 and self.answer_echo:
+            reply = make_icmpv6_packet(
+                src=pkt.dst if pkt.dst in self.addresses else self.primary_address(),
+                dst=pkt.src,
+                message=echo_reply(message),
+            )
+            self.send(reply)
+            return True
+        return False
+
+    def _send_time_exceeded(self, pkt: Packet) -> None:
+        if not self.addresses:
+            self.counters.dropped += 1
+            return
+        error = make_icmpv6_packet(
+            src=self.primary_address(),
+            dst=pkt.src,
+            message=time_exceeded(bytes(pkt.data)),
+        )
+        self.send(error)
+
+    # -- convenience ---------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<Node {self.name} devs={list(self.devices)} addrs={[ntop(a) for a in self.addresses]}>"

@@ -1,0 +1,286 @@
+"""Packet buffer with metadata — the stack's ``struct sk_buff`` equivalent.
+
+A :class:`Packet` owns the raw bytes (outermost IPv6 header onward) plus
+the kernel-side metadata the paper's mechanisms need: the RX software
+timestamp (End.DM reads it through a helper, §4.1), the firewall mark,
+and the routing decision carried between the eBPF hook and the forwarding
+code (``BPF_REDIRECT`` semantics, §3.1).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from .addr import as_addr
+from .icmpv6 import Icmpv6Message, build_icmpv6
+from .ipv6 import (
+    IPV6_HEADER_LEN,
+    IPv6Header,
+    PROTO_ICMPV6,
+    PROTO_ROUTING,
+    PROTO_TCP,
+    PROTO_UDP,
+    build_packet,
+)
+from .srh import SRH
+from .tcp import TcpHeader, build_tcp
+from .udp import UDP_HEADER_LEN, UdpHeader, build_udp
+
+
+class Packet:
+    """Raw bytes plus stack metadata.
+
+    Metadata fields:
+
+    * ``rx_tstamp_ns`` — software RX timestamp set on reception;
+    * ``mark`` — firewall mark (writable from eBPF via the context);
+    * ``nh6`` / ``table_id`` — routing decision installed by the seg6
+      action helper, honoured on ``BPF_REDIRECT``;
+    * ``flow_id`` / ``seq`` / ``tx_tstamp_ns`` — generator bookkeeping;
+    * ``trace`` — list of node names the packet traversed (debugging).
+    """
+
+    __slots__ = (
+        "data",
+        "rx_tstamp_ns",
+        "mark",
+        "input_dev",
+        "nh6",
+        "table_id",
+        "flow_id",
+        "seq",
+        "tx_tstamp_ns",
+        "trace",
+    )
+
+    def __init__(self, data: bytes | bytearray, **kwargs):
+        self.data = bytearray(data)
+        self.rx_tstamp_ns = kwargs.pop("rx_tstamp_ns", 0)
+        self.mark = kwargs.pop("mark", 0)
+        self.input_dev = kwargs.pop("input_dev", None)
+        self.nh6 = kwargs.pop("nh6", None)
+        self.table_id = kwargs.pop("table_id", None)
+        self.flow_id = kwargs.pop("flow_id", 0)
+        self.seq = kwargs.pop("seq", 0)
+        self.tx_tstamp_ns = kwargs.pop("tx_tstamp_ns", 0)
+        self.trace = kwargs.pop("trace", [])
+        if kwargs:
+            raise TypeError(f"unexpected Packet fields: {sorted(kwargs)}")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def copy(self) -> "Packet":
+        clone = Packet(bytes(self.data))
+        clone.rx_tstamp_ns = self.rx_tstamp_ns
+        clone.mark = self.mark
+        clone.input_dev = self.input_dev
+        clone.flow_id = self.flow_id
+        clone.seq = self.seq
+        clone.tx_tstamp_ns = self.tx_tstamp_ns
+        clone.trace = list(self.trace)
+        return clone
+
+    # -- parsing ----------------------------------------------------------
+    def ipv6(self) -> IPv6Header:
+        return IPv6Header.parse(self.data)
+
+    @property
+    def dst(self) -> bytes:
+        return bytes(self.data[24:40])
+
+    @property
+    def src(self) -> bytes:
+        return bytes(self.data[8:24])
+
+    @property
+    def next_header(self) -> int:
+        return self.data[6]
+
+    @property
+    def hop_limit(self) -> int:
+        return self.data[7]
+
+    def set_dst(self, addr: bytes) -> None:
+        self.data[24:40] = as_addr(addr)
+
+    def set_src(self, addr: bytes) -> None:
+        self.data[8:24] = as_addr(addr)
+
+    def decrement_hop_limit(self) -> int:
+        self.data[7] = max(0, self.data[7] - 1)
+        return self.data[7]
+
+    def srh(self) -> tuple[SRH, int] | None:
+        """The SRH and its byte offset, if the packet carries one."""
+        if self.next_header != PROTO_ROUTING:
+            return None
+        try:
+            return SRH.parse(bytes(self.data), IPV6_HEADER_LEN), IPV6_HEADER_LEN
+        except ValueError:
+            return None
+
+    def write_srh(self, srh: SRH, offset: int) -> None:
+        """Serialise ``srh`` back in place (it must keep its wire length)."""
+        raw = srh.pack()
+        self.data[offset : offset + len(raw)] = raw
+
+    def l4(self) -> tuple[int, int, int] | None:
+        """(protocol, src_port, dst_port) of the innermost transport header.
+
+        Walks routing extension headers and IPv6-in-IPv6 encapsulation.
+        Returns None for packets without a recognised transport header.
+        """
+        data = self.data
+        offset = IPV6_HEADER_LEN
+        proto = self.next_header
+        hops = 0
+        while hops < 8:
+            hops += 1
+            if proto == PROTO_ROUTING:
+                if offset + 2 > len(data):
+                    return None
+                next_proto = data[offset]
+                ext_len = (data[offset + 1] + 1) * 8
+                offset += ext_len
+                proto = next_proto
+            elif proto == 41:  # IPv6-in-IPv6
+                if offset + IPV6_HEADER_LEN > len(data):
+                    return None
+                proto = data[offset + 6]
+                offset += IPV6_HEADER_LEN
+            elif proto in (PROTO_UDP, PROTO_TCP):
+                if offset + 4 > len(data):
+                    return None
+                src_port = (data[offset] << 8) | data[offset + 1]
+                dst_port = (data[offset + 2] << 8) | data[offset + 3]
+                return proto, src_port, dst_port
+            elif proto == PROTO_ICMPV6:
+                return proto, 0, 0
+            else:
+                return None
+        return None
+
+    def flow_hash(self) -> int:
+        """5-tuple hash used for ECMP nexthop selection (RFC 2992 style)."""
+        l4 = self.l4()
+        key = bytes(self.data[8:40])
+        if l4 is not None:
+            proto, sport, dport = l4
+            key += bytes([proto]) + sport.to_bytes(2, "big") + dport.to_bytes(2, "big")
+        return zlib.crc32(key)
+
+    def udp_payload(self) -> bytes | None:
+        """Payload of the innermost UDP datagram, if any."""
+        info = self._l4_offset()
+        if info is None or info[0] != PROTO_UDP:
+            return None
+        _proto, offset = info
+        return bytes(self.data[offset + UDP_HEADER_LEN :])
+
+    def _l4_offset(self) -> tuple[int, int] | None:
+        data = self.data
+        offset = IPV6_HEADER_LEN
+        proto = self.next_header
+        hops = 0
+        while hops < 8:
+            hops += 1
+            if proto == PROTO_ROUTING:
+                if offset + 2 > len(data):
+                    return None
+                next_proto = data[offset]
+                offset += (data[offset + 1] + 1) * 8
+                proto = next_proto
+            elif proto == 41:
+                if offset + IPV6_HEADER_LEN > len(data):
+                    return None
+                proto = data[offset + 6]
+                offset += IPV6_HEADER_LEN
+            else:
+                return proto, offset
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Packet builders used by generators, tests and daemons.
+# ---------------------------------------------------------------------------
+
+
+def make_udp_packet(
+    src: bytes | str,
+    dst: bytes | str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    hop_limit: int = 64,
+    flow_label: int = 0,
+) -> Packet:
+    src, dst = as_addr(src), as_addr(dst)
+    datagram = build_udp(src, dst, src_port, dst_port, payload)
+    header = IPv6Header(
+        src=src, dst=dst, next_header=PROTO_UDP, hop_limit=hop_limit,
+        flow_label=flow_label,
+    )
+    return Packet(build_packet(header, datagram))
+
+
+def make_srv6_udp_packet(
+    src: bytes | str,
+    path: list[bytes | str],
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    hop_limit: int = 64,
+    flow_label: int = 0,
+    tlvs=None,
+    tag: int = 0,
+) -> Packet:
+    """A UDP packet carrying an SRH through ``path`` (final hop last).
+
+    This matches the paper's §3.2 workload: trafgen UDP packets whose SRH
+    has two segments, one bound to a function on the router under test
+    and the final one addressed to the sink.
+    """
+    from .srh import make_srh
+
+    src = as_addr(src)
+    final = as_addr(path[-1])
+    datagram = build_udp(src, final, src_port, dst_port, payload)
+    srh = make_srh(path, next_header=PROTO_UDP, tlvs=tlvs, tag=tag)
+    header = IPv6Header(
+        src=src,
+        dst=srh.current_segment,
+        next_header=PROTO_ROUTING,
+        hop_limit=hop_limit,
+        flow_label=flow_label,
+    )
+    return Packet(build_packet(header, srh.pack() + datagram))
+
+
+def make_tcp_packet(
+    src: bytes | str,
+    dst: bytes | str,
+    header: TcpHeader,
+    payload: bytes = b"",
+    hop_limit: int = 64,
+    flow_label: int = 0,
+) -> Packet:
+    src, dst = as_addr(src), as_addr(dst)
+    segment = build_tcp(src, dst, header, payload)
+    ip = IPv6Header(
+        src=src, dst=dst, next_header=PROTO_TCP, hop_limit=hop_limit,
+        flow_label=flow_label,
+    )
+    return Packet(build_packet(ip, segment))
+
+
+def make_icmpv6_packet(
+    src: bytes | str,
+    dst: bytes | str,
+    message: Icmpv6Message,
+    hop_limit: int = 64,
+) -> Packet:
+    src, dst = as_addr(src), as_addr(dst)
+    raw = build_icmpv6(src, dst, message)
+    ip = IPv6Header(src=src, dst=dst, next_header=PROTO_ICMPV6, hop_limit=hop_limit)
+    return Packet(build_packet(ip, raw))

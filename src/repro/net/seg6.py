@@ -1,0 +1,110 @@
+"""``seg6`` lightweight tunnel: the SRv6 *transit* behaviours.
+
+The Linux ``seg6`` lwtunnel implements the two transit behaviours the
+paper describes (§2): inserting an SRH into an IPv6 packet (inline,
+``T.Insert``) and encapsulating the packet in an outer IPv6 header that
+carries an SRH (``T.Encaps``).  Both are pure byte-level transforms here,
+shared by the static lwtunnel and by ``bpf_lwt_push_encap`` (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addr import as_addr
+from .ipv6 import IPV6_HEADER_LEN, IPv6Header, PROTO_IPV6, PROTO_ROUTING
+from .srh import SRH, make_srh
+
+SEG6_MODE_ENCAP = "encap"
+SEG6_MODE_INLINE = "inline"
+
+# bpf_lwt_push_encap() type argument (include/uapi/linux/bpf.h).
+BPF_LWT_ENCAP_SEG6 = 0
+BPF_LWT_ENCAP_SEG6_INLINE = 1
+
+
+def push_srh_inline(data: bytes, srh: SRH) -> bytes:
+    """Insert ``srh`` right after the IPv6 header (T.Insert).
+
+    The caller must have placed the original destination as the SRH's
+    final segment (``segments[0]``); the IPv6 destination is rewritten to
+    the SRH's active segment.
+    """
+    header = IPv6Header.parse(data)
+    srh.next_header = header.next_header
+    raw_srh = srh.pack()
+    header.next_header = PROTO_ROUTING
+    header.dst = srh.current_segment
+    header.payload_length += len(raw_srh)
+    return header.pack() + raw_srh + data[IPV6_HEADER_LEN:]
+
+
+def push_outer_encap(data: bytes, outer_src: bytes, srh: SRH, hop_limit: int = 64) -> bytes:
+    """Encapsulate in an outer IPv6 header carrying ``srh`` (T.Encaps)."""
+    srh.next_header = PROTO_IPV6
+    raw_srh = srh.pack()
+    outer = IPv6Header(
+        src=outer_src,
+        dst=srh.current_segment,
+        next_header=PROTO_ROUTING,
+        payload_length=len(raw_srh) + len(data),
+        hop_limit=hop_limit,
+    )
+    return outer.pack() + raw_srh + data
+
+
+def pop_srh(data: bytes) -> bytes:
+    """Remove the SRH that directly follows the IPv6 header."""
+    header = IPv6Header.parse(data)
+    if header.next_header != PROTO_ROUTING:
+        raise ValueError("packet has no SRH to remove")
+    srh = SRH.parse(data, IPV6_HEADER_LEN)
+    header.next_header = srh.next_header
+    header.payload_length -= srh.wire_len
+    return header.pack() + data[IPV6_HEADER_LEN + srh.wire_len :]
+
+
+def decap_outer(data: bytes) -> bytes:
+    """Strip the outer IPv6 header (and its SRH) from encapsulated traffic.
+
+    Implements the decapsulation part of End.DT6/End.DX6: the outer
+    header's next chain must lead to an inner IPv6 packet.
+    """
+    header = IPv6Header.parse(data)
+    offset = IPV6_HEADER_LEN
+    proto = header.next_header
+    while proto == PROTO_ROUTING:
+        srh = SRH.parse(data, offset)
+        offset += srh.wire_len
+        proto = srh.next_header
+    if proto != PROTO_IPV6:
+        raise ValueError("no inner IPv6 packet to decapsulate")
+    return bytes(data[offset:])
+
+
+@dataclass
+class Seg6Encap:
+    """Route-attached transit behaviour (``ip -6 route ... encap seg6``).
+
+    ``segments`` are in forward path order.  In inline mode the original
+    destination is appended as the final segment, as the kernel does.
+    """
+
+    segments: list[bytes]
+    mode: str = SEG6_MODE_ENCAP
+
+    def __post_init__(self) -> None:
+        self.segments = [as_addr(seg) for seg in self.segments]
+        if self.mode not in (SEG6_MODE_ENCAP, SEG6_MODE_INLINE):
+            raise ValueError(f"unknown seg6 mode {self.mode!r}")
+        if not self.segments:
+            raise ValueError("seg6 encap needs at least one segment")
+
+    def apply(self, data: bytes, node_src: bytes) -> bytes:
+        header = IPv6Header.parse(data)
+        if self.mode == SEG6_MODE_INLINE:
+            path = list(self.segments) + [header.dst]
+            srh = make_srh(path, next_header=header.next_header)
+            return push_srh_inline(data, srh)
+        srh = make_srh(list(self.segments), next_header=PROTO_IPV6)
+        return push_outer_encap(data, node_src, srh)

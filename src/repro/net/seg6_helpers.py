@@ -1,0 +1,273 @@
+"""The SRv6 eBPF helpers of §3.1, plus the §4.3 ECMP-nexthop helper.
+
+These are the paper's interface between eBPF programs and the SRv6 data
+plane.  Design principle (i) of §3 — *"eBPF code cannot compromise the
+stability of the kernel"* — is implemented by giving programs **no**
+direct write access to packets; every mutation flows through these
+helpers, which validate offsets against the SRH's immutable fields and
+keep the header internally consistent.
+
+Helper ids 73–76 follow Linux 4.18's uapi ordering for the LWT/seg6
+family; ``get_ecmp_nexthops`` is the paper's custom addition ("our custom
+helper returning the ECMP nexthops for a given address required only 50
+SLOC in the kernel") and lives in a private id range.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..ebpf import isa
+from ..ebpf.errors import HelperError
+from ..ebpf.helpers import HelperContext, register_helper
+from .ipv6 import IPV6_HEADER_LEN, PROTO_ROUTING
+from .seg6 import (
+    BPF_LWT_ENCAP_SEG6,
+    BPF_LWT_ENCAP_SEG6_INLINE,
+    decap_outer,
+    push_outer_encap,
+    push_srh_inline,
+)
+from .seg6local import (
+    SEG6_LOCAL_ACTION_END_B6,
+    SEG6_LOCAL_ACTION_END_B6_ENCAP,
+    SEG6_LOCAL_ACTION_END_DT6,
+    SEG6_LOCAL_ACTION_END_T,
+    SEG6_LOCAL_ACTION_END_X,
+)
+from .srh import SRH
+
+_ERR = -22 & isa.U64  # -EINVAL
+_OK = 0
+
+# Helper-id sets per hook, enforced at program load time (the kernel
+# restricts helper availability by program type).
+SEG6LOCAL_HELPERS = frozenset({1, 2, 3, 5, 6, 7, 8, 25, 74, 75, 76, 1000, 1001})
+LWT_HELPERS = frozenset({1, 2, 3, 5, 6, 7, 8, 25, 73, 1000})
+
+
+def _require_hook(hctx: HelperContext, allowed: tuple[str, ...], name: str) -> None:
+    if hctx.hook not in allowed:
+        raise HelperError(f"{name} is not available on hook {hctx.hook!r}")
+
+
+def _srh_span(packet_bytes: bytes) -> tuple[int, SRH]:
+    """Locate the SRH; raises HelperError when the packet has none."""
+    if len(packet_bytes) < IPV6_HEADER_LEN or packet_bytes[6] != PROTO_ROUTING:
+        raise HelperError("packet has no SRH")
+    try:
+        srh = SRH.parse(packet_bytes, IPV6_HEADER_LEN)
+    except ValueError as exc:
+        raise HelperError(f"malformed SRH: {exc}") from exc
+    return IPV6_HEADER_LEN, srh
+
+
+@register_helper(
+    74,
+    "lwt_seg6_store_bytes",
+    [("ctx",), ("scalar",), ("mem", "r", "sizearg", 4), ("scalar",)],
+)
+def _lwt_seg6_store_bytes(
+    hctx: HelperContext, ctx_addr: int, offset: int, from_addr: int, length: int
+) -> int:
+    """Indirect write restricted to the SRH's editable fields (§3.1).
+
+    ``offset`` is relative to the start of the packet.  Only the flags
+    byte, the tag, and the TLV area may be written; the fixed header
+    fields and the segment list are immutable, exactly as in the kernel
+    implementation.
+    """
+    _require_hook(hctx, ("seg6local",), "lwt_seg6_store_bytes")
+    packet = hctx.skb.packet_bytes()
+    srh_off, srh = _srh_span(packet)
+    offset = isa.to_signed64(offset)
+
+    flags_start = srh_off + 5  # flags byte + 2-byte tag
+    flags_end = srh_off + 8
+    tlv_start = srh_off + 8 + 16 * len(srh.segments)
+    tlv_end = srh_off + srh.wire_len
+
+    in_flags = flags_start <= offset and offset + length <= flags_end
+    in_tlvs = tlv_start <= offset and offset + length <= tlv_end
+    if length <= 0 or not (in_flags or in_tlvs):
+        return _ERR
+
+    data = hctx.mem.read_bytes(from_addr, length)
+    hctx.skb.packet_region.data[offset : offset + length] = data
+    hctx.metadata["srh_modified"] = True
+    return _OK
+
+
+@register_helper(75, "lwt_seg6_adjust_srh", [("ctx",), ("scalar",), ("scalar",)])
+def _lwt_seg6_adjust_srh(
+    hctx: HelperContext, ctx_addr: int, offset: int, delta: int
+) -> int:
+    """Grow or shrink the SRH's TLV area by ``delta`` bytes (§3.1).
+
+    ``offset`` must point inside (or at the end of) the TLV area; the new
+    SRH length must stay a multiple of 8 octets.  Grown space is
+    zero-filled — the program must then fill it with valid TLVs or the
+    post-run validation drops the packet.
+    """
+    _require_hook(hctx, ("seg6local",), "lwt_seg6_adjust_srh")
+    packet = bytearray(hctx.skb.packet_bytes())
+    srh_off, srh = _srh_span(bytes(packet))
+    offset = isa.to_signed64(offset)
+    delta = isa.to_signed64(delta)
+
+    tlv_start = srh_off + 8 + 16 * len(srh.segments)
+    tlv_end = srh_off + srh.wire_len
+    if delta == 0:
+        return _OK
+    if delta % 8:
+        return _ERR
+    if not tlv_start <= offset <= tlv_end:
+        return _ERR
+    if delta > 0:
+        packet[offset:offset] = bytes(delta)
+    else:
+        if offset - delta > tlv_end:
+            return _ERR
+        del packet[offset : offset - delta]
+
+    new_ext_len = srh.hdr_ext_len + delta // 8
+    if new_ext_len < (8 + 16 * len(srh.segments)) // 8 - 1 or new_ext_len > 255:
+        return _ERR
+    packet[srh_off + 1] = new_ext_len
+    payload_len = struct.unpack_from(">H", packet, 4)[0] + delta
+    if payload_len < 0 or payload_len > 0xFFFF:
+        return _ERR
+    struct.pack_into(">H", packet, 4, payload_len)
+
+    hctx.skb.replace_packet(bytes(packet))
+    hctx.metadata["srh_modified"] = True
+    return _OK
+
+
+@register_helper(
+    76,
+    "lwt_seg6_action",
+    [("ctx",), ("scalar",), ("mem", "r", "sizearg", 4), ("scalar",)],
+)
+def _lwt_seg6_action(
+    hctx: HelperContext, ctx_addr: int, action: int, param_addr: int, param_len: int
+) -> int:
+    """Execute a native SRv6 behaviour from BPF (§3.1).
+
+    Supported actions mirror the paper: End.X, End.T, End.B6,
+    End.B6.Encaps and End.DT6.  Actions that resolve a destination store
+    it in the packet metadata; the program should then return
+    ``BPF_REDIRECT`` so the default lookup does not overwrite it.
+    """
+    _require_hook(hctx, ("seg6local",), "lwt_seg6_action")
+    param = hctx.mem.read_bytes(param_addr, param_len)
+    node = hctx.node
+    packet = hctx.skb.packet_bytes()
+
+    if action == SEG6_LOCAL_ACTION_END_X:
+        if param_len != 16:
+            return _ERR
+        hctx.metadata["redirect_nh6"] = bytes(param)
+        return _OK
+
+    if action == SEG6_LOCAL_ACTION_END_T:
+        if param_len != 4:
+            return _ERR
+        hctx.metadata["redirect_table"] = int.from_bytes(param, "little")
+        return _OK
+
+    if action == SEG6_LOCAL_ACTION_END_DT6:
+        if param_len != 4:
+            return _ERR
+        try:
+            inner = decap_outer(packet)
+        except ValueError:
+            return _ERR
+        hctx.skb.replace_packet(inner)
+        hctx.metadata["redirect_table"] = int.from_bytes(param, "little")
+        return _OK
+
+    if action in (SEG6_LOCAL_ACTION_END_B6, SEG6_LOCAL_ACTION_END_B6_ENCAP):
+        try:
+            srh = SRH.parse(param)
+        except ValueError:
+            return _ERR
+        try:
+            if action == SEG6_LOCAL_ACTION_END_B6:
+                new_packet = push_srh_inline(packet, srh)
+            else:
+                source = node.primary_address() if node else bytes(16)
+                new_packet = push_outer_encap(packet, source, srh)
+        except ValueError:
+            return _ERR
+        hctx.skb.replace_packet(new_packet)
+        return _OK
+
+    return _ERR
+
+
+@register_helper(
+    73,
+    "lwt_push_encap",
+    [("ctx",), ("scalar",), ("mem", "r", "sizearg", 4), ("scalar",)],
+)
+def _lwt_push_encap(
+    hctx: HelperContext, ctx_addr: int, encap_type: int, hdr_addr: int, hdr_len: int
+) -> int:
+    """Push an SRH onto plain IPv6 traffic from a BPF LWT program (§3.1).
+
+    The program builds the complete SRH (segment list and TLVs) in its
+    stack and passes it here — which is why the paper's DM sampler is a
+    130-SLOC program.  ``encap_type`` selects outer encapsulation
+    (``BPF_LWT_ENCAP_SEG6``) or inline insertion
+    (``BPF_LWT_ENCAP_SEG6_INLINE``).
+    """
+    _require_hook(hctx, ("lwt_in", "lwt_out", "lwt_xmit"), "lwt_push_encap")
+    raw = hctx.mem.read_bytes(hdr_addr, hdr_len)
+    try:
+        srh = SRH.parse(raw)
+    except ValueError:
+        return _ERR
+    if srh.wire_len != hdr_len:
+        return _ERR
+    packet = hctx.skb.packet_bytes()
+    node = hctx.node
+    try:
+        if encap_type == BPF_LWT_ENCAP_SEG6:
+            source = node.primary_address() if node else bytes(16)
+            new_packet = push_outer_encap(packet, source, srh)
+        elif encap_type == BPF_LWT_ENCAP_SEG6_INLINE:
+            new_packet = push_srh_inline(packet, srh)
+        else:
+            return _ERR
+    except ValueError:
+        return _ERR
+    hctx.skb.replace_packet(new_packet)
+    return _OK
+
+
+@register_helper(
+    1001,
+    "get_ecmp_nexthops",
+    [("ctx",), ("mem", "r", "fixed", 16), ("mem", "w", "sizearg", 4), ("scalar",)],
+)
+def _get_ecmp_nexthops(
+    hctx: HelperContext, ctx_addr: int, addr_ptr: int, out_ptr: int, out_len: int
+) -> int:
+    """The paper's custom helper (§4.3): ECMP nexthops for an address.
+
+    Writes up to ``out_len // 16`` nexthop addresses into the program's
+    buffer and returns how many were written.  Nexthops without an
+    explicit gateway (on-link routes) report the queried address itself.
+    """
+    if hctx.node is None:
+        return 0
+    dst = hctx.mem.read_bytes(addr_ptr, 16)
+    nexthops = hctx.node.main_table().ecmp_nexthops(dst)
+    max_entries = out_len // 16
+    written = 0
+    for nh in nexthops[:max_entries]:
+        via = nh.via if nh.via is not None else dst
+        hctx.mem.write_bytes(out_ptr + 16 * written, via)
+        written += 1
+    return written

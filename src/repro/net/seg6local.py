@@ -1,0 +1,276 @@
+"""``seg6local`` lightweight tunnel: SRv6 endpoint behaviours, incl. End.BPF.
+
+This module reproduces the paper's core contribution (§3).  A seg6local
+route binds a local segment (an IPv6 prefix) to an action; packets routed
+to that segment are consumed by the action instead of being forwarded.
+
+Static actions (already in Linux before the paper): End, End.X, End.T,
+End.DX6, End.DT6, End.B6, End.B6.Encaps.
+
+**End.BPF** (the paper's addition, released in Linux 4.18) accepts SRv6
+packets whose active segment is local, *advances the SRH to the next
+segment*, and then executes the attached eBPF program.  The program's
+return value selects the subsequent processing:
+
+* ``BPF_OK`` — regular FIB lookup on the (new) destination;
+* ``BPF_DROP`` — drop;
+* ``BPF_REDIRECT`` — skip the default lookup and use the destination the
+  seg6 action helper already resolved.
+
+If the program altered the SRH through the helpers, the header is
+re-validated before the packet continues; an inconsistent SRH is dropped
+(§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ebpf import BPF_DROP, BPF_OK, BPF_REDIRECT, Program
+from ..ebpf.errors import BpfError, VmFault
+from .addr import as_addr
+from .packet import Packet
+from .seg6 import decap_outer, push_outer_encap, push_srh_inline
+from .srh import SRH, make_srh, validate_srh_bytes
+
+# Action numbers from include/uapi/linux/seg6_local.h; these are also the
+# values bpf_lwt_seg6_action() accepts.
+SEG6_LOCAL_ACTION_END = 1
+SEG6_LOCAL_ACTION_END_X = 2
+SEG6_LOCAL_ACTION_END_T = 3
+SEG6_LOCAL_ACTION_END_DX6 = 5
+SEG6_LOCAL_ACTION_END_DT6 = 7
+SEG6_LOCAL_ACTION_END_B6 = 9
+SEG6_LOCAL_ACTION_END_B6_ENCAP = 10
+
+
+@dataclass
+class Disposition:
+    """What the node should do with the packet after an action ran."""
+
+    action: str  # "forward" | "drop" | "local"
+    table_id: int | None = None
+    nh6: bytes | None = None
+    reason: str = ""
+
+    @classmethod
+    def forward(cls, table_id=None, nh6=None) -> "Disposition":
+        return cls("forward", table_id=table_id, nh6=nh6)
+
+    @classmethod
+    def drop(cls, reason: str) -> "Disposition":
+        return cls("drop", reason=reason)
+
+
+class Seg6LocalAction:
+    """Base class: validates the SRH and advances to the next segment."""
+
+    kind = "End"
+    needs_srh = True
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        srh_info = self._require_srh(pkt)
+        if srh_info is None:
+            return Disposition.drop("no SRH")
+        srh, offset = srh_info
+        if srh.segments_left == 0:
+            return Disposition.drop("segments_left == 0")
+        self._advance(pkt, srh, offset)
+        return Disposition.forward()
+
+    # -- shared machinery ---------------------------------------------------
+    @staticmethod
+    def _require_srh(pkt: Packet):
+        return pkt.srh()
+
+    @staticmethod
+    def _advance(pkt: Packet, srh: SRH, offset: int) -> bytes:
+        """Decrement segments_left in place and rewrite the destination."""
+        new_active = srh.advance()
+        pkt.data[offset + 3] = srh.segments_left
+        pkt.set_dst(new_active)
+        return new_active
+
+
+@dataclass
+class End(Seg6LocalAction):
+    """Plain endpoint: advance and forward along the next segment."""
+
+    kind = "End"
+
+
+@dataclass
+class EndX(Seg6LocalAction):
+    """Advance, then forward to a specific layer-3 nexthop."""
+
+    nh6: bytes
+    kind = "End.X"
+
+    def __post_init__(self) -> None:
+        self.nh6 = as_addr(self.nh6)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(nh6=self.nh6)
+
+
+@dataclass
+class EndT(Seg6LocalAction):
+    """Advance, then look up the next segment in a specific table."""
+
+    table_id: int
+    kind = "End.T"
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(table_id=self.table_id)
+
+
+@dataclass
+class EndDT6(Seg6LocalAction):
+    """Decapsulate and look the inner packet up in a table (last segment)."""
+
+    table_id: int
+    kind = "End.DT6"
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        srh_info = pkt.srh()
+        if srh_info is not None and srh_info[0].segments_left != 0:
+            return Disposition.drop("End.DT6 requires segments_left == 0")
+        try:
+            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
+        except ValueError as exc:
+            return Disposition.drop(f"decap failed: {exc}")
+        return Disposition.forward(table_id=self.table_id)
+
+
+@dataclass
+class EndDX6(Seg6LocalAction):
+    """Decapsulate and forward the inner packet to a fixed nexthop."""
+
+    nh6: bytes
+    kind = "End.DX6"
+
+    def __post_init__(self) -> None:
+        self.nh6 = as_addr(self.nh6)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        srh_info = pkt.srh()
+        if srh_info is not None and srh_info[0].segments_left != 0:
+            return Disposition.drop("End.DX6 requires segments_left == 0")
+        try:
+            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
+        except ValueError as exc:
+            return Disposition.drop(f"decap failed: {exc}")
+        return Disposition.forward(nh6=self.nh6)
+
+
+@dataclass
+class EndB6(Seg6LocalAction):
+    """Apply an SRv6 policy: insert an additional SRH (no advance)."""
+
+    segments: list[bytes]
+    kind = "End.B6"
+
+    def __post_init__(self) -> None:
+        self.segments = [as_addr(seg) for seg in self.segments]
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        header_dst = pkt.dst
+        path = list(self.segments) + [header_dst]
+        from .ipv6 import IPv6Header
+
+        inner_nh = IPv6Header.parse(bytes(pkt.data)).next_header
+        srh = make_srh(path, next_header=inner_nh)
+        pkt.data = bytearray(push_srh_inline(bytes(pkt.data), srh))
+        return Disposition.forward()
+
+
+@dataclass
+class EndB6Encaps(Seg6LocalAction):
+    """Advance, then encapsulate with an outer header carrying a new SRH."""
+
+    segments: list[bytes]
+    source: bytes | None = None
+    kind = "End.B6.Encaps"
+
+    def __post_init__(self) -> None:
+        self.segments = [as_addr(seg) for seg in self.segments]
+        if self.source is not None:
+            self.source = as_addr(self.source)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        outer_src = self.source or node.primary_address()
+        from .ipv6 import PROTO_IPV6
+
+        srh = make_srh(list(self.segments), next_header=PROTO_IPV6)
+        pkt.data = bytearray(push_outer_encap(bytes(pkt.data), outer_src, srh))
+        return Disposition.forward()
+
+
+@dataclass
+class EndBPF(Seg6LocalAction):
+    """The paper's End.BPF action: advance, then run an eBPF program."""
+
+    program: Program
+    kind = "End.BPF"
+    stats: dict = field(default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0})
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        srh_info = pkt.srh()
+        if srh_info is None:
+            return Disposition.drop("End.BPF: no SRH")
+        srh, offset = srh_info
+        if srh.segments_left == 0:
+            return Disposition.drop("End.BPF: segments_left == 0")
+        self._advance(pkt, srh, offset)
+
+        hctx = self.program.make_context(
+            bytes(pkt.data), clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
+        )
+        hctx.packet = pkt
+        hctx.node = node
+        hctx.hook = "seg6local"
+        try:
+            ret = self.program.run(hctx)
+        except (VmFault, BpfError) as exc:
+            self.stats["errors"] += 1
+            node.log(f"End.BPF program fault: {exc}")
+            return Disposition.drop(f"program fault: {exc}")
+
+        # Propagate helper-made modifications back into the packet.
+        new_bytes = hctx.skb.packet_bytes()
+        if new_bytes != bytes(pkt.data):
+            pkt.data = bytearray(new_bytes)
+        pkt.mark = hctx.skb.mark
+
+        if hctx.metadata.get("srh_modified") and ret != BPF_DROP:
+            srh_info = pkt.srh()
+            if srh_info is not None:
+                try:
+                    validate_srh_bytes(
+                        bytes(pkt.data[srh_info[1] : srh_info[1] + srh_info[0].wire_len])
+                    )
+                except ValueError as exc:
+                    self.stats["drop"] += 1
+                    return Disposition.drop(f"invalid SRH after BPF: {exc}")
+
+        if ret == BPF_OK:
+            self.stats["ok"] += 1
+            return Disposition.forward()
+        if ret == BPF_REDIRECT:
+            self.stats["redirect"] += 1
+            return Disposition.forward(
+                table_id=hctx.metadata.get("redirect_table"),
+                nh6=hctx.metadata.get("redirect_nh6"),
+            )
+        self.stats["drop"] += 1
+        reason = "BPF_DROP" if ret == BPF_DROP else f"unknown BPF return {ret}"
+        return Disposition.drop(reason)

@@ -1,0 +1,45 @@
+"""UDP header (RFC 768) over IPv6."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import l4_checksum
+from .ipv6 import PROTO_UDP
+
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UdpHeader:
+    src_port: int
+    dst_port: int
+    length: int = 0
+    checksum: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            ">HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "UdpHeader":
+        if len(data) - offset < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src, dst, length, csum = struct.unpack_from(">HHHH", data, offset)
+        return cls(src, dst, length, csum)
+
+
+def build_udp(
+    src_addr: bytes, dst_addr: bytes, src_port: int, dst_port: int, payload: bytes
+) -> bytes:
+    """Serialise a UDP datagram with a valid IPv6 pseudo-header checksum."""
+    length = UDP_HEADER_LEN + len(payload)
+    header = UdpHeader(src_port, dst_port, length, 0)
+    datagram = header.pack() + payload
+    csum = l4_checksum(src_addr, dst_addr, PROTO_UDP, datagram)
+    if csum == 0:
+        csum = 0xFFFF  # RFC 8200: UDP/IPv6 must not transmit a zero checksum
+    header.checksum = csum
+    return header.pack() + payload

@@ -1,0 +1,52 @@
+"""Discrete-event network simulation substrate (the paper's lab)."""
+
+from .cpu import CostModel, CpuQueue, CpuStats
+from .link import Link, LinkEndpoint
+from .netem import NetemQdisc
+from .pcap import PcapWriter, read_pcap, tap_device
+from .scheduler import NS_PER_MS, NS_PER_SEC, NS_PER_US, Event, Scheduler
+from .stats import FlowMeter, mbps
+from .tcp import TcpReceiver, TcpSender, make_connection
+from .topology import (
+    PAPER_LINK0,
+    PAPER_LINK1,
+    HybridLinkSpec,
+    Setup1,
+    Setup2,
+    build_setup1,
+    build_setup2,
+)
+from .trafgen import Srv6UdpFlood, UdpFlow, batch_srv6_udp, batch_udp
+
+__all__ = [
+    "CostModel",
+    "CpuQueue",
+    "CpuStats",
+    "Event",
+    "FlowMeter",
+    "HybridLinkSpec",
+    "Link",
+    "LinkEndpoint",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "NS_PER_US",
+    "NetemQdisc",
+    "PAPER_LINK0",
+    "PAPER_LINK1",
+    "PcapWriter",
+    "Scheduler",
+    "Setup1",
+    "Setup2",
+    "Srv6UdpFlood",
+    "TcpReceiver",
+    "TcpSender",
+    "UdpFlow",
+    "batch_srv6_udp",
+    "batch_udp",
+    "build_setup1",
+    "build_setup2",
+    "make_connection",
+    "mbps",
+    "read_pcap",
+    "tap_device",
+]

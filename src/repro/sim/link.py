@@ -1,0 +1,94 @@
+"""Point-to-point links with serialisation and propagation delay.
+
+A :class:`Link` joins two :class:`~repro.net.netdev.NetDev` devices.  Each
+direction is an independent :class:`LinkEndpoint` modelling a transmit
+queue drained at the link rate plus a fixed propagation delay — i.e. the
+10 Gb/s and 1 Gb/s NICs of the paper's lab (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.netdev import NetDev
+from ..net.packet import Packet
+from .scheduler import NS_PER_SEC, Scheduler
+
+
+@dataclass
+class LinkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+
+class LinkEndpoint:
+    """One direction of a link: serialise at ``rate_bps``, then propagate."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        peer_dev: NetDev,
+        rate_bps: float,
+        delay_ns: int,
+        queue_limit: int | None = 1000,
+    ):
+        self.scheduler = scheduler
+        self.peer_dev = peer_dev
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.queue_limit = queue_limit
+        self.stats = LinkStats()
+        self._free_at_ns = 0
+        self._queued = 0
+
+    def tx_time_ns(self, size_bytes: int) -> int:
+        if self.rate_bps <= 0:
+            return 0
+        return int(size_bytes * 8 * NS_PER_SEC / self.rate_bps)
+
+    def send(self, pkt: Packet) -> None:
+        now = self.scheduler.now_ns
+        if self.queue_limit is not None and self._queued >= self.queue_limit:
+            self.stats.dropped += 1
+            return
+        start = max(now, self._free_at_ns)
+        depart = start + self.tx_time_ns(len(pkt))
+        self._free_at_ns = depart
+        self._queued += 1
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(pkt)
+        self.scheduler.schedule_at(depart + self.delay_ns, self._deliver, pkt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        self._queued -= 1
+        self.stats.delivered += 1
+        self.peer_dev.receive(pkt)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+
+class Link:
+    """A bidirectional link between two devices."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        dev_a: NetDev,
+        dev_b: NetDev,
+        rate_bps: float = 10e9,
+        delay_ns: int = 1000,
+        queue_limit: int | None = 1000,
+    ):
+        self.a_to_b = LinkEndpoint(scheduler, dev_b, rate_bps, delay_ns, queue_limit)
+        self.b_to_a = LinkEndpoint(scheduler, dev_a, rate_bps, delay_ns, queue_limit)
+        dev_a.link_endpoint = self.a_to_b
+        dev_b.link_endpoint = self.b_to_a
+        self.dev_a = dev_a
+        self.dev_b = dev_b
+
+    def __repr__(self) -> str:
+        return f"<Link {self.dev_a} <-> {self.dev_b}>"

@@ -1,0 +1,81 @@
+"""Discrete-event scheduler: the simulated lab's clock and event loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+NS_PER_SEC = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+@dataclass(order=True)
+class Event:
+    time_ns: int
+    seq: int
+    callback: Callable = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """A heap-based event loop with nanosecond resolution."""
+
+    def __init__(self):
+        self.now_ns = 0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.events_run = 0
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay_ns: int, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay_ns`` simulated nanoseconds."""
+        return self.schedule_at(self.now_ns + max(0, int(delay_ns)), callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callable, *args) -> Event:
+        if time_ns < self.now_ns:
+            raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now_ns})")
+        event = Event(int(time_ns), next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution -------------------------------------------------------------
+    def run(self, until_ns: int | None = None, max_events: int | None = None) -> int:
+        """Process events until the horizon / event budget / empty heap.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if until_ns is not None and event.time_ns > until_ns:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now_ns = event.time_ns
+            event.callback(*event.args)
+            executed += 1
+            self.events_run += 1
+        if until_ns is not None and self.now_ns < until_ns:
+            self.now_ns = until_ns
+        return executed
+
+    def run_for(self, duration_ns: int, max_events: int | None = None) -> int:
+        return self.run(self.now_ns + duration_ns, max_events)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def now_fn(self) -> Callable[[], int]:
+        """A clock callable suitable for ``Node(clock_ns=...)``."""
+        return lambda: self.now_ns

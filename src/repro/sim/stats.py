@@ -1,0 +1,56 @@
+"""Flow measurement: goodput, delay and reordering accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.packet import Packet
+from .scheduler import NS_PER_SEC
+
+
+@dataclass
+class FlowMeter:
+    """Counts delivered payload; bind its :meth:`on_packet` as a listener."""
+
+    name: str = "flow"
+    packets: int = 0
+    payload_bytes: int = 0
+    first_ns: int | None = None
+    last_ns: int | None = None
+    out_of_order: int = 0
+    _last_seq: int = field(default=-1, repr=False)
+    delays_ns: list = field(default_factory=list, repr=False)
+
+    def on_packet(self, pkt: Packet, node) -> None:
+        payload = pkt.udp_payload()
+        size = len(payload) if payload is not None else 0
+        now = node.clock_ns()
+        self.packets += 1
+        self.payload_bytes += size
+        if self.first_ns is None:
+            self.first_ns = now
+        self.last_ns = now
+        if pkt.seq:
+            if pkt.seq < self._last_seq:
+                self.out_of_order += 1
+            self._last_seq = max(self._last_seq, pkt.seq)
+        if pkt.tx_tstamp_ns:
+            self.delays_ns.append(now - pkt.tx_tstamp_ns)
+
+    # -- derived metrics ------------------------------------------------------
+    def goodput_bps(self, duration_ns: int | None = None) -> float:
+        """Delivered payload rate in bits per second."""
+        if duration_ns is None:
+            if self.first_ns is None or self.last_ns is None or self.last_ns <= self.first_ns:
+                return 0.0
+            duration_ns = self.last_ns - self.first_ns
+        if duration_ns <= 0:
+            return 0.0
+        return self.payload_bytes * 8 * NS_PER_SEC / duration_ns
+
+    def mean_delay_ns(self) -> float:
+        return sum(self.delays_ns) / len(self.delays_ns) if self.delays_ns else 0.0
+
+
+def mbps(bps: float) -> float:
+    return bps / 1e6

@@ -1,0 +1,146 @@
+"""Traffic generators: the lab's trafgen / pktgen / iperf3 equivalents.
+
+§3.2 drives the router under test with trafgen UDP packets (64-byte
+payload, 2-segment SRH); §4.1 adds pktgen plain-IPv6 flows; §4.2 measures
+iperf3-style constant-rate UDP flows of varying payload size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..net.node import Node
+from ..net.packet import Packet, make_srv6_udp_packet, make_udp_packet
+from .scheduler import NS_PER_SEC, Scheduler
+
+
+@dataclass
+class GeneratorStats:
+    sent: int = 0
+    bytes_sent: int = 0
+
+
+class UdpFlow:
+    """A constant-rate UDP flow (iperf3 -u equivalent).
+
+    ``rate_bps`` is the *payload* goodput target when ``count_header`` is
+    False, or the on-wire IPv6 rate otherwise.
+    """
+
+    _flow_ids = iter(range(1, 1 << 30))
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        node: Node,
+        src: str | bytes,
+        dst: str | bytes,
+        rate_bps: float,
+        payload_size: int = 1400,
+        src_port: int = 40000,
+        dst_port: int = 5201,
+        flow_label: int = 0,
+        packet_factory: Callable[..., Packet] | None = None,
+    ):
+        if payload_size <= 0:
+            raise ValueError("payload_size must be positive")
+        self.scheduler = scheduler
+        self.node = node
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.payload_size = payload_size
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.flow_label = flow_label
+        self.packet_factory = packet_factory or make_udp_packet
+        self.stats = GeneratorStats()
+        self.flow_id = next(self._flow_ids)
+        self._seq = 0
+        self._stop_ns: int | None = None
+        wire_size = payload_size + 48  # IPv6 + UDP headers
+        self.interval_ns = max(1, int(wire_size * 8 * NS_PER_SEC / rate_bps))
+        self._event = None
+
+    def start(self, at_ns: int | None = None, duration_ns: int | None = None) -> None:
+        start_ns = self.scheduler.now_ns if at_ns is None else at_ns
+        if duration_ns is not None:
+            self._stop_ns = start_ns + duration_ns
+        self._event = self.scheduler.schedule_at(start_ns, self._tick)
+
+    def stop(self) -> None:
+        self._stop_ns = self.scheduler.now_ns
+
+    def _tick(self) -> None:
+        now = self.scheduler.now_ns
+        if self._stop_ns is not None and now >= self._stop_ns:
+            return
+        pkt = self.packet_factory(
+            self.src,
+            self.dst,
+            self.src_port,
+            self.dst_port,
+            bytes(self.payload_size),
+            flow_label=self.flow_label,
+        )
+        self._seq += 1
+        pkt.seq = self._seq
+        pkt.flow_id = self.flow_id
+        pkt.tx_tstamp_ns = now
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(pkt)
+        self.node.send(pkt)
+        self._event = self.scheduler.schedule_at(now + self.interval_ns, self._tick)
+
+
+class Srv6UdpFlood(UdpFlow):
+    """trafgen-style flood of SRv6 UDP packets through a segment path."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        node: Node,
+        src: str | bytes,
+        path: list,
+        rate_bps: float,
+        payload_size: int = 64,
+        **kwargs,
+    ):
+        def factory(src_addr, _dst, sport, dport, payload, flow_label=0):
+            return make_srv6_udp_packet(
+                src_addr, path, sport, dport, payload, flow_label=flow_label
+            )
+
+        super().__init__(
+            scheduler,
+            node,
+            src,
+            path[-1],
+            rate_bps,
+            payload_size,
+            packet_factory=factory,
+            **kwargs,
+        )
+
+
+def batch_udp(
+    src: str, dst: str, count: int, payload_size: int = 64, **kwargs
+) -> list[Packet]:
+    """Pre-built packet batch for the direct-datapath microbenchmarks."""
+    return [
+        make_udp_packet(src, dst, 40000 + (i % 1000), 5201, bytes(payload_size), **kwargs)
+        for i in range(count)
+    ]
+
+
+def batch_srv6_udp(
+    src: str, path: list, count: int, payload_size: int = 64, **kwargs
+) -> list[Packet]:
+    """§3.2 workload: UDP with a two-segment SRH, 64-byte payload."""
+    return [
+        make_srv6_udp_packet(
+            src, path, 40000 + (i % 1000), 5201, bytes(payload_size), **kwargs
+        )
+        for i in range(count)
+    ]

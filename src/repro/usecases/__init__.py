@@ -1,0 +1,45 @@
+"""The paper's three §4 applications, built on the public API."""
+
+from .delay import (
+    DelayCollector,
+    DelaySample,
+    DmDaemon,
+    DmSampler,
+    OwdMonitorHandles,
+    deploy_owd_monitoring,
+    install_dm_sampler,
+    install_end_dm,
+)
+from .hybrid import (
+    HybridAccess,
+    TwdDaemon,
+    WrrHandle,
+    deploy_hybrid_access,
+    install_wrr,
+)
+from .oam import (
+    HopResult,
+    OampDaemon,
+    SrTraceroute,
+    install_end_oamp,
+)
+
+__all__ = [
+    "DelayCollector",
+    "DelaySample",
+    "DmDaemon",
+    "DmSampler",
+    "HopResult",
+    "HybridAccess",
+    "OampDaemon",
+    "OwdMonitorHandles",
+    "SrTraceroute",
+    "TwdDaemon",
+    "WrrHandle",
+    "deploy_hybrid_access",
+    "deploy_owd_monitoring",
+    "install_dm_sampler",
+    "install_end_dm",
+    "install_end_oamp",
+    "install_wrr",
+]

@@ -1,0 +1,5 @@
+"""User-space substrate: perf-event consumption and a bcc-like front-end."""
+
+from .perf import PerfPoller, PerfRing
+
+__all__ = ["PerfPoller", "PerfRing"]

@@ -1,0 +1,68 @@
+"""Perf-event ring buffers: the kernel→user-space event channel.
+
+§2.1 of the paper: *"if information needs to be pushed asynchronously to
+user space, perf events can be used ... events collected in the ring
+buffer can then be retrieved in user space."*  End.DM (§4.1) uses exactly
+this to hand timestamp pairs to its Python daemon.
+
+:class:`PerfRing` models one per-CPU ring: bounded, lossy under pressure
+(it counts drops, as the kernel does), drained by :class:`PerfPoller`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+DEFAULT_RING_CAPACITY = 4096
+
+
+class PerfRing:
+    """A bounded FIFO of raw event records for one CPU."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._queue: deque[bytes] = deque()
+        self.pushed = 0
+        self.dropped = 0
+
+    def push(self, record: bytes) -> bool:
+        """Append a record; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(bytes(record))
+        self.pushed += 1
+        return True
+
+    def drain(self, max_records: int | None = None) -> list[bytes]:
+        """Remove and return up to ``max_records`` records (all if None)."""
+        out: list[bytes] = []
+        while self._queue and (max_records is None or len(out) < max_records):
+            out.append(self._queue.popleft())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PerfPoller:
+    """Dispatches ring records to callbacks, like bcc's ``perf_buffer_poll``."""
+
+    def __init__(self):
+        self._subscriptions: list[tuple[Iterable[PerfRing], Callable[[int, bytes], None]]] = []
+
+    def subscribe(self, rings: Iterable[PerfRing], callback: Callable[[int, bytes], None]):
+        self._subscriptions.append((list(rings), callback))
+
+    def poll(self, max_records: int | None = None) -> int:
+        """Drain all subscribed rings; returns the number of records seen."""
+        count = 0
+        for rings, callback in self._subscriptions:
+            for cpu, ring in enumerate(rings):
+                for record in ring.drain(max_records):
+                    callback(cpu, record)
+                    count += 1
+        return count

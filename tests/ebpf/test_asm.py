@@ -1,0 +1,220 @@
+"""Assembler and disassembler."""
+
+import pytest
+
+import repro.net  # noqa: F401  — registers the SRv6 helpers for `call` by name
+from repro.ebpf import assemble, disassemble, isa
+from repro.ebpf.errors import AsmError
+from repro.ebpf.insn import flatten
+
+
+def asm1(line: str):
+    """Assemble a single line and return the instruction."""
+    insns = assemble(line)
+    assert len(insns) == 1
+    return insns[0]
+
+
+def test_mov_immediate():
+    insn = asm1("mov r1, 42")
+    assert insn.opcode == isa.BPF_ALU64 | isa.BPF_K | isa.BPF_MOV
+    assert insn.dst_reg == 1
+    assert insn.imm == 42
+
+
+def test_mov_register():
+    insn = asm1("mov r3, r7")
+    assert insn.opcode == isa.BPF_ALU64 | isa.BPF_X | isa.BPF_MOV
+    assert (insn.dst_reg, insn.src_reg) == (3, 7)
+
+
+def test_alu32_suffix():
+    insn = asm1("add32 r1, 5")
+    assert insn.opcode == isa.BPF_ALU | isa.BPF_K | isa.BPF_ADD
+
+
+def test_negative_immediate():
+    assert asm1("mov r1, -1").imm == -1
+
+
+def test_hex_immediate():
+    assert asm1("mov r1, 0xff").imm == 255
+
+
+def test_neg():
+    insn = asm1("neg r4")
+    assert insn.opcode == isa.BPF_ALU64 | isa.BPF_NEG
+    assert insn.dst_reg == 4
+
+
+def test_endian_ops():
+    insn = asm1("be16 r2")
+    assert insn.opcode == isa.BPF_ALU | isa.BPF_END | isa.BPF_TO_BE
+    assert insn.imm == 16
+    insn = asm1("le64 r2")
+    assert insn.opcode == isa.BPF_ALU | isa.BPF_END | isa.BPF_TO_LE
+    assert insn.imm == 64
+
+
+def test_load_store_sizes():
+    for suffix, size in (("b", isa.BPF_B), ("h", isa.BPF_H), ("w", isa.BPF_W), ("dw", isa.BPF_DW)):
+        load = asm1(f"ldx{suffix} r1, [r2+4]")
+        assert load.opcode == isa.BPF_LDX | isa.BPF_MEM | size
+        store = asm1(f"stx{suffix} [r2-4], r1")
+        assert store.opcode == isa.BPF_STX | isa.BPF_MEM | size
+        assert store.off == -4
+        store_imm = asm1(f"st{suffix} [r10-8], 9")
+        assert store_imm.opcode == isa.BPF_ST | isa.BPF_MEM | size
+        assert store_imm.imm == 9
+
+
+def test_memory_operand_no_offset():
+    insn = asm1("ldxw r1, [r2]")
+    assert insn.off == 0
+
+
+def test_lddw_value():
+    insn = asm1("lddw r1, 0x123456789abcdef0")
+    assert insn.imm64 == 0x123456789ABCDEF0
+
+
+def test_lddw_map_ref():
+    insn = asm1("lddw r1, map:flags")
+    assert insn.map_ref == "flags"
+    assert insn.src_reg == isa.BPF_PSEUDO_MAP_FD
+
+
+def test_labels_and_jumps():
+    insns = assemble(
+        """
+        mov r0, 0
+        jeq r0, 0, done
+        mov r0, 1
+        done:
+        exit
+        """
+    )
+    jump = insns[1]
+    assert jump.off == 1  # skips 'mov r0, 1'
+
+
+def test_backward_label_offsets_in_slots():
+    # lddw occupies two slots; the jump offset must account for that.
+    insns = assemble(
+        """
+        lddw r1, 5
+        jeq r1, 5, over
+        mov r0, 0
+        over:
+        exit
+        """
+    )
+    assert insns[1].off == 1
+
+
+def test_ja():
+    insns = assemble("ja out\nmov r0, 1\nout:\nexit")
+    assert insns[0].opcode == isa.BPF_JMP | isa.BPF_JA
+    assert insns[0].off == 1
+
+
+def test_jmp32():
+    insns = assemble("jeq32 r1, 4, l\nl:\nexit")
+    assert insns[0].opcode == isa.BPF_JMP32 | isa.BPF_K | isa.BPF_JEQ
+
+
+def test_call_by_name_and_number():
+    assert asm1("call ktime_get_ns").imm == 5
+    assert asm1("call 5").imm == 5
+
+
+def test_call_srv6_helper_names():
+    assert asm1("call lwt_seg6_store_bytes").imm == 74
+    assert asm1("call lwt_push_encap").imm == 73
+
+
+def test_comments_and_blank_lines():
+    insns = assemble(
+        """
+        ; full-line comment
+        mov r0, 0   ; trailing comment
+        # hash comment
+        exit        // slash comment
+        """
+    )
+    assert len(insns) == 2
+
+
+def test_label_on_same_line_as_insn():
+    insns = assemble("start: mov r0, 0\nexit")
+    assert len(insns) == 2
+
+
+def test_error_unknown_mnemonic():
+    with pytest.raises(AsmError, match="unknown mnemonic"):
+        assemble("frobnicate r1, r2")
+
+
+def test_error_undefined_label():
+    with pytest.raises(AsmError, match="undefined label"):
+        assemble("ja nowhere\nexit")
+
+
+def test_error_duplicate_label():
+    with pytest.raises(AsmError, match="duplicate label"):
+        assemble("a:\nmov r0, 0\na:\nexit")
+
+
+def test_error_bad_register():
+    with pytest.raises(AsmError):
+        assemble("mov r11, 0")
+
+
+def test_error_unknown_helper():
+    with pytest.raises(AsmError, match="unknown helper"):
+        assemble("call not_a_helper")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AsmError, match="line 3"):
+        assemble("mov r0, 0\nmov r1, 0\nbogus op\nexit")
+
+
+def test_error_wrong_operand_count():
+    with pytest.raises(AsmError):
+        assemble("mov r1")
+    with pytest.raises(AsmError):
+        assemble("exit r0")
+
+
+# --- disassembler round trips -------------------------------------------------
+
+ROUNDTRIP_SOURCES = [
+    "mov r0, 0\nexit",
+    "mov r6, r1\nldxdw r7, [r6+16]\nldxdw r8, [r6+24]\nexit",
+    "lddw r1, 0xdeadbeef\nexit",
+    "stb [r10-8], 10\nsth [r10-6], 0\nstw [r10-4], 1\nstxdw [r10-16], r1\nexit",
+    "be16 r1\nle32 r2\nbe64 r3\nneg r4\nneg32 r5\nexit",
+    "jeq r1, 0, l\nadd r1, 1\nl:\nmod r1, 3\narsh r1, 2\nexit",
+    "jsgt r1, r2, l\njset32 r1, 4, l\nl:\nexit",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_disassemble_reassembles_identically(source):
+    insns = assemble("mov r1, 0\nmov r2, 0\n" + source)
+    text = disassemble(insns)
+    again = assemble(text)
+    assert [i.encode() for i in again] == [i.encode() for i in insns]
+
+
+def test_disassemble_labels_jump_targets():
+    insns = assemble("jeq r1, 0, out\nmov r0, 1\nout:\nexit")
+    text = disassemble(insns)
+    assert "L2:" in text
+    assert "jeq r1, 0, L2" in text
+
+
+def test_flatten_slot_count_matches_encoding():
+    insns = assemble("lddw r1, 1\nlddw r2, 2\nmov r0, 0\nexit")
+    assert len(flatten(insns)) == 6

@@ -1,0 +1,193 @@
+"""Programmatic builder front-end: parity with the text assembler."""
+
+import pytest
+
+import repro.net  # noqa: F401
+from repro.ebpf import ArrayMap, Program, assemble
+from repro.ebpf.builder import (
+    BpfBuilder,
+    R0,
+    R1,
+    R2,
+    R3,
+    R6,
+    R10,
+    Reg,
+)
+from repro.ebpf.errors import AsmError
+
+PKT = b"\x60" + b"\x00" * 39
+
+
+def encode(insns):
+    return [i.encode() for i in insns]
+
+
+def test_simple_program_matches_assembler():
+    built = BpfBuilder().mov(R0, 7).add(R0, 3).exit().build()
+    assembled = assemble("mov r0, 7\nadd r0, 3\nexit")
+    assert encode(built) == encode(assembled)
+
+
+def test_register_vs_immediate_operands():
+    built = BpfBuilder().mov(R1, 5).mov(R2, R1).exit().build()
+    assembled = assemble("mov r1, 5\nmov r2, r1\nexit")
+    assert encode(built) == encode(assembled)
+
+
+def test_memory_ops_match_assembler():
+    built = (
+        BpfBuilder()
+        .mov(R2, 9)
+        .store(R10, -8, R2, size=8)
+        .load(R0, R10, -8, size=8)
+        .store(R10, -12, 3, size=4)
+        .exit()
+        .build()
+    )
+    assembled = assemble(
+        "mov r2, 9\nstxdw [r10-8], r2\nldxdw r0, [r10-8]\nstw [r10-12], 3\nexit"
+    )
+    assert encode(built) == encode(assembled)
+
+
+def test_labels_and_jumps():
+    b = BpfBuilder()
+    done = b.new_label("done")
+    built = (
+        b.mov(R2, 7)
+        .jeq(R2, 7, done)
+        .mov(R2, 0)
+        .label(done)
+        .mov(R0, R2)
+        .exit()
+        .build()
+    )
+    assembled = assemble(
+        "mov r2, 7\njeq r2, 7, done\nmov r2, 0\ndone:\nmov r0, r2\nexit"
+    )
+    assert encode(built) == encode(assembled)
+    assert Program(built).run_on_packet(PKT)[0] == 7
+
+
+def test_label_accounts_for_lddw_slots():
+    b = BpfBuilder()
+    over = b.new_label()
+    built = (
+        b.load_imm64(R1, 5)
+        .jeq(R1, 5, over)
+        .mov(R1, 0)
+        .label(over)
+        .mov(R0, R1)
+        .exit()
+        .build()
+    )
+    assert Program(built).run_on_packet(PKT)[0] == 5
+
+
+def test_map_reference_and_helper_call():
+    counter = ArrayMap("b_hits", value_size=8, max_entries=1)
+    b = BpfBuilder()
+    out = b.new_label("out")
+    built = (
+        b.store(R10, -4, 0, size=4)
+        .load_map(R1, "hits")
+        .mov(R2, R10)
+        .add(R2, -4)
+        .call("map_lookup_elem")
+        .jeq(R0, 0, out)
+        .load(R1, R0, 0, size=8)
+        .add(R1, 1)
+        .store(R0, 0, R1, size=8)
+        .label(out)
+        .mov(R0, 0)
+        .exit()
+        .build()
+    )
+    prog = Program(built, maps={"hits": counter})
+    prog.run_on_packet(PKT)
+    prog.run_on_packet(PKT)
+    assert int.from_bytes(counter.lookup(b"\x00" * 4), "little") == 2
+
+
+def test_byteswap_and_bit_ops():
+    built = (
+        BpfBuilder()
+        .mov(R0, 0x1234)
+        .htobe(R0, 16)
+        .and_(R0, 0xFFFF)
+        .or_(R0, 0)
+        .xor(R0, 0)
+        .exit()
+        .build()
+    )
+    assert Program(built).run_on_packet(PKT)[0] == 0x3412
+
+
+def test_signed_jump_ops():
+    b = BpfBuilder()
+    yes = b.new_label()
+    built = (
+        b.mov(R1, -5)
+        .jslt(R1, 0, yes)
+        .mov(R0, 0)
+        .exit()
+        .label(yes)
+        .mov(R0, 1)
+        .exit()
+        .build()
+    )
+    assert Program(built).run_on_packet(PKT)[0] == 1
+
+
+def test_unplaced_label_rejected():
+    b = BpfBuilder()
+    nowhere = b.new_label("nowhere")
+    b.ja(nowhere).mov(R0, 0).exit()
+    with pytest.raises(AsmError, match="never placed"):
+        b.build()
+
+
+def test_label_placed_twice_rejected():
+    b = BpfBuilder()
+    spot = b.new_label()
+    b.label(spot)
+    with pytest.raises(AsmError, match="placed twice"):
+        b.label(spot)
+
+
+def test_bad_register_index_rejected():
+    with pytest.raises(AsmError):
+        Reg(11)
+
+
+def test_bad_size_rejected():
+    with pytest.raises(AsmError, match="bad access size"):
+        BpfBuilder().load(R0, R10, -8, size=3)
+
+
+def test_unknown_helper_name_rejected():
+    with pytest.raises(AsmError, match="unknown helper"):
+        BpfBuilder().call("not_a_helper")
+
+
+def test_built_program_passes_verifier_and_both_engines():
+    b = BpfBuilder()
+    out = b.new_label()
+    built = (
+        b.mov(R6, R1)
+        .load(R2, R6, 16, size=8)   # data
+        .load(R3, R6, 24, size=8)   # data_end
+        .mov(R1, R2)
+        .add(R1, 1)
+        .jgt(R1, R3, out)
+        .load(R0, R2, 0, size=1)
+        .exit()
+        .label(out)
+        .mov(R0, 0)
+        .exit()
+        .build()
+    )
+    jit = Program(built, jit=True).run_on_packet(PKT)[0]
+    interp = Program(built, jit=False).run_on_packet(PKT)[0]
+    assert jit == interp == 0x60

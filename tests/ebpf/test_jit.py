@@ -1,0 +1,192 @@
+"""JIT correctness: differential testing against the interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.net  # noqa: F401  — helper registration
+from repro.ebpf import (
+    ArrayMap,
+    HelperContext,
+    JitProgram,
+    Memory,
+    Program,
+    SkbContext,
+    assemble,
+    isa,
+)
+from repro.ebpf.vm import Interpreter
+from repro.progs import (
+    ADD_TLV_ASM,
+    END_PROG_ASM,
+    END_T_PROG_ASM,
+    TAG_INCREMENT_ASM,
+)
+
+PKT = bytes.fromhex("60") + b"\x00" * 63
+
+
+def run_both(source: str) -> tuple[int, int]:
+    """Execute the same bytecode in both engines on fresh contexts."""
+    insns = assemble(source)
+    results = []
+    for engine in (Interpreter(insns), JitProgram(insns)):
+        mem = Memory()
+        skb = SkbContext(mem, PKT)
+        hctx = HelperContext(mem, skb)
+        results.append(engine.run(hctx, skb.ctx_addr, skb.stack_top))
+    return tuple(results)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "mov r0, 123\nexit",
+        "mov r0, -1\nadd r0, 1\nexit",
+        "mov r0, 42\ndiv r0, 5\nmod r0, 3\nexit",
+        "mov r0, 0x1234\nbe16 r0\nexit",
+        "lddw r0, 0x0102030405060708\nbe64 r0\nexit",
+        "mov r0, -16\narsh r0, 2\nexit",
+        "mov32 r0, -1\nexit",
+        "mov r1, 5\nstxdw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
+        "mov r1, 3\njeq r1, 3, y\nmov r0, 0\nexit\ny:\nmov r0, 1\nexit",
+        "mov r1, -1\nmov r2, 1\njsgt r1, r2, y\nmov r0, 0\nexit\ny:\nmov r0, 9\nexit",
+        "ldxw r0, [r1+0]\nexit",  # ctx len
+    ],
+)
+def test_differential_fixed_cases(source):
+    interp, jit = run_both(source)
+    assert interp == jit
+
+
+_ALU_OPS = ["add", "sub", "mul", "div", "or", "and", "lsh", "rsh", "mod", "xor", "arsh"]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(_ALU_OPS),
+            st.booleans(),  # 32-bit?
+            st.integers(0, 4),  # dst in r0..r4
+            st.integers(-(1 << 31), (1 << 31) - 1),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    seeds=st.lists(st.integers(-(1 << 31), (1 << 31) - 1), min_size=5, max_size=5),
+)
+def test_differential_random_alu_programs(ops, seeds):
+    """Random straight-line ALU programs behave identically in both engines."""
+    lines = [f"mov r{i}, {seed}" for i, seed in enumerate(seeds)]
+    for op, is32, dst, imm in ops:
+        if op in ("div", "mod") and imm == 0:
+            imm = 1
+        suffix = "32" if is32 else ""
+        lines.append(f"{op}{suffix} r{dst}, {imm}")
+    lines += ["mov r0, r0", "exit"]
+    interp, jit = run_both("\n".join(lines))
+    assert interp == jit
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(0, isa.U64),
+    b=st.integers(0, isa.U64),
+    op=st.sampled_from(["jeq", "jne", "jgt", "jge", "jlt", "jle", "jsgt", "jsge", "jslt", "jsle", "jset"]),
+    is32=st.booleans(),
+)
+def test_differential_comparisons(a, b, op, is32):
+    suffix = "32" if is32 else ""
+    source = f"""
+    lddw r1, {a:#x}
+    lddw r2, {b:#x}
+    {op}{suffix} r1, r2, y
+    mov r0, 0
+    exit
+    y:
+    mov r0, 1
+    exit
+    """
+    interp, jit = run_both(source)
+    assert interp == jit
+
+
+def _run_paper_prog(source: str, maps: dict, jit: bool, packet: bytes) -> tuple[int, bytes]:
+    prog = Program(source, maps=maps, jit=jit)
+    hctx = prog.make_context(packet)
+    hctx.hook = "seg6local"
+    ret = prog.run(hctx)
+    return ret, hctx.skb.packet_bytes()
+
+
+def test_paper_programs_identical_across_engines():
+    """The §3.2 programs produce identical packets under JIT and interpreter."""
+    from repro.net import make_srv6_udp_packet
+
+    pkt = make_srv6_udp_packet(
+        "fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1234, 5678, b"x" * 64, tag=7
+    )
+    # Pre-advance the SRH as End.BPF would before the program runs.
+    raw = bytes(pkt.data)
+    for source in (END_PROG_ASM, TAG_INCREMENT_ASM, ADD_TLV_ASM):
+        out = []
+        for jit in (False, True):
+            ret, data = _run_paper_prog(source, {}, jit, raw)
+            out.append((ret, data))
+        assert out[0] == out[1], f"engines disagree on {source[:40]!r}"
+
+
+def test_jit_source_is_valid_python():
+    jit = JitProgram(assemble("mov r0, 0\nexit"))
+    assert "def _ebpf_jitted" in jit.source
+    compile(jit.source, "<check>", "exec")
+
+
+def test_jit_map_program_state_shared_with_interpreter():
+    counter = ArrayMap("c", value_size=8, max_entries=1)
+    source = """
+    stw [r10-4], 0
+    lddw r1, map:c
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jeq r0, 0, out
+    ldxdw r1, [r0+0]
+    add r1, 1
+    stxdw [r0+0], r1
+    out:
+    mov r0, 0
+    exit
+    """
+    jit_prog = Program(source, maps={"c": counter}, jit=True)
+    interp_prog = Program(source, maps={"c": counter}, jit=False)
+    jit_prog.run_on_packet(PKT)
+    interp_prog.run_on_packet(PKT)
+    assert int.from_bytes(counter.lookup(b"\x00" * 4), "little") == 2
+
+
+def test_jit_is_faster_than_interpreter():
+    """The central premise of the §3.2 JIT experiment."""
+    import timeit
+
+    source = TAG_INCREMENT_ASM
+    from repro.net import SEG6LOCAL_HELPERS, make_srv6_udp_packet
+
+    pkt = bytes(
+        make_srv6_udp_packet(
+            "fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1, 2, b"x" * 64
+        ).data
+    )
+    jit_prog = Program(source, jit=True, allowed_helpers=SEG6LOCAL_HELPERS)
+    interp_prog = Program(source, jit=False, allowed_helpers=SEG6LOCAL_HELPERS)
+
+    def run_once(prog):
+        hctx = prog.make_context(pkt)
+        hctx.hook = "seg6local"
+        prog.run(hctx)
+
+    def bench(prog):
+        return timeit.timeit(lambda: run_once(prog), number=300)
+
+    bench(jit_prog), bench(interp_prog)  # warm up
+    assert bench(jit_prog) < bench(interp_prog)

@@ -1,0 +1,259 @@
+"""Map semantics: array, per-CPU array, hash, LPM trie, perf event array."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf import (
+    ArrayMap,
+    HashMap,
+    LpmTrieMap,
+    MapError,
+    PerCpuArrayMap,
+    PerfEventArrayMap,
+)
+
+
+def key32(i: int) -> bytes:
+    return i.to_bytes(4, "little")
+
+
+# --- array ------------------------------------------------------------------
+
+
+def test_array_preallocated_zeroed():
+    m = ArrayMap("a", value_size=8, max_entries=4)
+    assert m.lookup(key32(0)) == bytes(8)
+    assert m.lookup(key32(3)) == bytes(8)
+
+
+def test_array_update_lookup():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    m.update(key32(1), b"abcd")
+    assert m.lookup(key32(1)) == b"abcd"
+
+
+def test_array_out_of_bounds_lookup_is_none():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    assert m.lookup(key32(2)) is None
+
+
+def test_array_out_of_bounds_update_raises():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    with pytest.raises(MapError):
+        m.update(key32(5), b"abcd")
+
+
+def test_array_delete_forbidden():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    with pytest.raises(MapError):
+        m.delete(key32(0))
+
+
+def test_array_wrong_value_size():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    with pytest.raises(MapError):
+        m.update(key32(0), b"too long for four")
+
+
+def test_array_wrong_key_size():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    with pytest.raises(MapError):
+        m.lookup(b"\x00" * 8)
+
+
+def test_array_keys_iteration():
+    m = ArrayMap("a", value_size=4, max_entries=3)
+    assert list(m.keys()) == [key32(0), key32(1), key32(2)]
+
+
+def test_array_items():
+    m = ArrayMap("a", value_size=4, max_entries=2)
+    m.update(key32(1), b"wxyz")
+    assert dict(m.items())[key32(1)] == b"wxyz"
+
+
+def test_percpu_array_behaves_like_array():
+    m = PerCpuArrayMap("p", value_size=8, max_entries=2)
+    m.update(key32(0), b"12345678")
+    assert m.lookup(key32(0)) == b"12345678"
+    assert m.map_type == "percpu_array"
+
+
+def test_stable_value_addresses():
+    m = ArrayMap("a", value_size=8, max_entries=4)
+    assert m.value_addr(0) == m.value_addr(0)
+    assert m.value_addr(1) - m.value_addr(0) == 8
+
+
+def test_distinct_maps_use_distinct_address_space():
+    m1 = ArrayMap("a1", value_size=8, max_entries=4)
+    m2 = ArrayMap("a2", value_size=8, max_entries=4)
+    span1 = (m1.value_addr(0), m1.value_addr(3) + 8)
+    span2 = (m2.value_addr(0), m2.value_addr(3) + 8)
+    assert span1[1] <= span2[0] or span2[1] <= span1[0]
+
+
+# --- hash ---------------------------------------------------------------------
+
+
+def test_hash_insert_lookup_delete():
+    m = HashMap("h", key_size=8, value_size=4, max_entries=4)
+    m.update(b"AAAAAAAA", b"1111")
+    assert m.lookup(b"AAAAAAAA") == b"1111"
+    m.delete(b"AAAAAAAA")
+    assert m.lookup(b"AAAAAAAA") is None
+
+
+def test_hash_missing_lookup_none():
+    m = HashMap("h", key_size=4, value_size=4, max_entries=4)
+    assert m.lookup(key32(7)) is None
+
+
+def test_hash_update_overwrites():
+    m = HashMap("h", key_size=4, value_size=4, max_entries=4)
+    m.update(key32(1), b"aaaa")
+    m.update(key32(1), b"bbbb")
+    assert m.lookup(key32(1)) == b"bbbb"
+
+
+def test_hash_full_map_rejects_new_keys():
+    m = HashMap("h", key_size=4, value_size=4, max_entries=2)
+    m.update(key32(1), b"aaaa")
+    m.update(key32(2), b"bbbb")
+    with pytest.raises(MapError, match="full"):
+        m.update(key32(3), b"cccc")
+    m.update(key32(1), b"dddd")  # existing key still updatable
+
+
+def test_hash_slot_reuse_after_delete():
+    m = HashMap("h", key_size=4, value_size=4, max_entries=1)
+    m.update(key32(1), b"aaaa")
+    m.delete(key32(1))
+    m.update(key32(2), b"bbbb")
+    assert m.lookup(key32(2)) == b"bbbb"
+
+
+def test_hash_delete_missing_raises():
+    m = HashMap("h", key_size=4, value_size=4, max_entries=2)
+    with pytest.raises(MapError):
+        m.delete(key32(1))
+
+
+# --- LPM trie ---------------------------------------------------------------------
+
+
+def lpm_key(prefixlen: int, addr: str) -> bytes:
+    return prefixlen.to_bytes(4, "little") + ipaddress.IPv6Address(addr).packed
+
+
+def test_lpm_longest_prefix_wins():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    m.update(lpm_key(16, "fc00::"), b"\x01")
+    m.update(lpm_key(64, "fc00:1::"), b"\x02")
+    assert m.lookup(lpm_key(128, "fc00:1::5")) == b"\x02"
+    assert m.lookup(lpm_key(128, "fc00:2::5")) == b"\x01"
+
+
+def test_lpm_no_match():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    m.update(lpm_key(16, "fc00::"), b"\x01")
+    assert m.lookup(lpm_key(128, "fd00::1")) is None
+
+
+def test_lpm_default_route():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    m.update(lpm_key(0, "::"), b"\x0a")
+    assert m.lookup(lpm_key(128, "2001:db8::1")) == b"\x0a"
+
+
+def test_lpm_exact_host_entry():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    m.update(lpm_key(128, "fc00::1"), b"\x07")
+    assert m.lookup(lpm_key(128, "fc00::1")) == b"\x07"
+    assert m.lookup(lpm_key(128, "fc00::2")) is None
+
+
+def test_lpm_delete():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    m.update(lpm_key(16, "fc00::"), b"\x01")
+    m.delete(lpm_key(16, "fc00::"))
+    assert m.lookup(lpm_key(128, "fc00::1")) is None
+
+
+def test_lpm_bad_prefixlen():
+    m = LpmTrieMap("t", key_size=20, value_size=1, max_entries=8)
+    with pytest.raises(MapError):
+        m.update(lpm_key(129, "fc00::"), b"\x01")
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 32), st.integers(0, (1 << 32) - 1)),
+        min_size=1,
+        max_size=12,
+    ),
+    query=st.integers(0, (1 << 32) - 1),
+)
+def test_lpm_matches_reference_model(entries, query):
+    """LPM over 4-byte keys agrees with a brute-force reference."""
+    m = LpmTrieMap("t", key_size=8, value_size=4, max_entries=64)
+    model = {}
+    for prefixlen, value in entries:
+        data = value.to_bytes(4, "big")
+        m.update(prefixlen.to_bytes(4, "little") + data, data)
+        mask = ((1 << prefixlen) - 1) << (32 - prefixlen) if prefixlen else 0
+        model[(prefixlen, value & 0xFFFFFFFF & mask if prefixlen else 0)] = data
+
+    def reference(q: int):
+        best = None
+        best_len = -1
+        for (prefixlen, prefix), data in model.items():
+            shift = 32 - prefixlen
+            if prefixlen > best_len and (q >> shift if shift < 32 else 0) == (
+                prefix >> shift if shift < 32 else 0
+            ):
+                best, best_len = data, prefixlen
+        return best
+
+    got = m.lookup((32).to_bytes(4, "little") + query.to_bytes(4, "big"))
+    assert got == reference(query)
+
+
+# --- perf event array -----------------------------------------------------------------
+
+
+def test_perf_output_and_drain():
+    m = PerfEventArrayMap("e")
+    assert m.output(0, b"hello")
+    assert m.ring(0).drain() == [b"hello"]
+
+
+def test_perf_ring_bounded_and_counts_drops():
+    from repro.userspace.perf import PerfRing
+
+    ring = PerfRing(capacity=2)
+    assert ring.push(b"1") and ring.push(b"2")
+    assert not ring.push(b"3")
+    assert ring.dropped == 1
+    assert len(ring) == 2
+
+
+def test_perf_fifo_order():
+    m = PerfEventArrayMap("e")
+    for i in range(5):
+        m.output(0, bytes([i]))
+    assert m.ring(0).drain() == [bytes([i]) for i in range(5)]
+
+
+def test_perf_not_updatable():
+    m = PerfEventArrayMap("e")
+    with pytest.raises(MapError):
+        m.update(b"\x00" * 4, b"")
+
+
+def test_map_rejects_nonpositive_entries():
+    with pytest.raises(MapError):
+        ArrayMap("a", value_size=4, max_entries=0)

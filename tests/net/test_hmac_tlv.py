@@ -1,0 +1,83 @@
+"""HMAC TLV extension (RFC 8754 §2.1.2)."""
+
+import pytest
+
+from repro.net import SRH, make_srh, pton
+from repro.net.hmac_tlv import (
+    HmacKeyStore,
+    compute_hmac,
+    make_hmac_tlv,
+    verify_hmac,
+)
+
+SECRET = b"super-secret-key"
+SRC = "fc00:1::1"
+
+
+def signed_srh(key_id=7, secret=SECRET, path=None):
+    base = make_srh(path or ["fc00::a", "fc00::b"], next_header=41)
+    tlv = make_hmac_tlv(SRC, base, key_id, secret)
+    return make_srh(path or ["fc00::a", "fc00::b"], next_header=41, tlvs=[tlv])
+
+
+def keystore(key_id=7, secret=SECRET):
+    keys = HmacKeyStore()
+    keys.add_key(key_id, secret)
+    return keys
+
+
+def test_sign_and_verify_roundtrip():
+    srh = signed_srh()
+    assert verify_hmac(SRC, srh, keystore())
+
+
+def test_verify_survives_wire_roundtrip():
+    srh = SRH.parse(signed_srh().pack())
+    assert verify_hmac(SRC, srh, keystore())
+
+
+def test_wrong_source_rejected():
+    srh = signed_srh()
+    assert not verify_hmac("fc00:1::2", srh, keystore())
+
+
+def test_wrong_secret_rejected():
+    srh = signed_srh()
+    assert not verify_hmac(SRC, srh, keystore(secret=b"other"))
+
+
+def test_unknown_key_id_rejected():
+    srh = signed_srh(key_id=7)
+    assert not verify_hmac(SRC, srh, keystore(key_id=8))
+
+
+def test_missing_tlv_rejected():
+    srh = make_srh(["fc00::a"], next_header=41)
+    assert not verify_hmac(SRC, srh, keystore())
+
+
+def test_tampered_segment_list_rejected():
+    srh = signed_srh()
+    srh.segments[0] = pton("fc00::ef")
+    assert not verify_hmac(SRC, srh, keystore())
+
+
+def test_hmac_does_not_cover_segments_left():
+    """Per the RFC, segments_left changes at every hop, so advancing the
+    SRH must not break the HMAC."""
+    srh = signed_srh()
+    srh.advance()
+    assert verify_hmac(SRC, srh, keystore())
+
+
+def test_digest_depends_on_key_id():
+    base = make_srh(["fc00::a"], next_header=41)
+    assert compute_hmac(SRC, base, 1, SECRET) != compute_hmac(SRC, base, 2, SECRET)
+
+
+def test_keystore_validation():
+    keys = HmacKeyStore()
+    with pytest.raises(ValueError):
+        keys.add_key(0, SECRET)
+    with pytest.raises(ValueError):
+        keys.add_key(1, b"")

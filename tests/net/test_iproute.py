@@ -1,0 +1,144 @@
+"""iproute2-style configuration front-end."""
+
+import pytest
+
+from repro.ebpf import Program
+from repro.net import (
+    BpfLwt,
+    End,
+    EndB6,
+    EndBPF,
+    EndDT6,
+    EndT,
+    EndX,
+    Node,
+    SEG6LOCAL_HELPERS,
+    Seg6Encap,
+    make_srv6_udp_packet,
+    pton,
+)
+from repro.net.iproute import IpRoute, IpRouteError
+
+
+@pytest.fixture
+def ip():
+    node = Node("R")
+    node.add_device("eth0")
+    node.add_device("eth1")
+    prog = Program("mov r0, 0\nexit", allowed_helpers=SEG6LOCAL_HELPERS)
+    return IpRoute(node, objects={"prog.o": prog})
+
+
+def test_plain_route(ip):
+    route = ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    assert route.prefixlen == 64
+    assert route.nexthops[0].via == pton("fc00:2::1")
+    assert route.nexthops[0].dev == "eth1"
+
+
+def test_host_route_default_prefixlen(ip):
+    route = ip.route_add("fc00::1 dev eth0")
+    assert route.prefixlen == 128
+
+
+def test_route_into_table(ip):
+    ip.route_add("fc00:2::/64 table 100 via fc00:2::1 dev eth1")
+    assert ip.node.table(100).lookup(pton("fc00:2::5")) is not None
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is None
+
+
+def test_seg6_encap_modes(ip):
+    route = ip.route_add(
+        "fc00:2::/64 encap seg6 mode encap segs fc00::a,fc00::b dev eth1"
+    )
+    assert isinstance(route.encap, Seg6Encap)
+    assert route.encap.mode == "encap"
+    assert route.encap.segments == [pton("fc00::a"), pton("fc00::b")]
+    inline = ip.route_add("fc00:3::/64 encap seg6 mode inline segs fc00::c dev eth1")
+    assert inline.encap.mode == "inline"
+
+
+@pytest.mark.parametrize(
+    "spec,cls,attr",
+    [
+        ("encap seg6local action End", End, None),
+        ("encap seg6local action End.X nh6 fc00::9", EndX, ("nh6", pton("fc00::9"))),
+        ("encap seg6local action End.T table 42", EndT, ("table_id", 42)),
+        ("encap seg6local action End.DT6 table 254", EndDT6, ("table_id", 254)),
+        (
+            "encap seg6local action End.B6 srh segs fc00::a,fc00::b",
+            EndB6,
+            ("segments", [pton("fc00::a"), pton("fc00::b")]),
+        ),
+    ],
+)
+def test_seg6local_actions(ip, spec, cls, attr):
+    route = ip.route_add(f"fc00::100/128 {spec} dev eth0")
+    assert isinstance(route.encap, cls)
+    if attr:
+        assert getattr(route.encap, attr[0]) == attr[1]
+
+
+def test_end_bpf_with_object(ip):
+    route = ip.route_add(
+        "fc00::100/128 encap seg6local action End.BPF endpoint obj prog.o sec main dev eth0"
+    )
+    assert isinstance(route.encap, EndBPF)
+
+
+def test_end_bpf_route_actually_works(ip):
+    ip.addr_add("fc00:e::1 dev eth0")
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    ip.route_add(
+        "fc00:e::100/128 encap seg6local action End.BPF endpoint obj prog.o dev eth0"
+    )
+    pkt = make_srv6_udp_packet("fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1, 2, b"x")
+    ip.node.receive(pkt, ip.node.devices["eth0"])
+    assert len(ip.node.devices["eth1"].tx_buffer) == 1
+
+
+def test_bpf_lwt_route(ip):
+    route = ip.route_add("fc00:2::/64 encap bpf out obj prog.o dev eth1")
+    assert isinstance(route.encap, BpfLwt)
+    assert route.encap.prog_out is not None
+    assert route.encap.prog_in is None
+
+
+def test_ecmp_nexthop_blocks(ip):
+    route = ip.route_add(
+        "fc00:5::/64 nexthop via fc00::a dev eth0 weight 2 nexthop via fc00::b dev eth1"
+    )
+    assert len(route.nexthops) == 2
+    assert route.nexthops[0].weight == 2
+
+
+def test_unknown_object_rejected(ip):
+    with pytest.raises(IpRouteError, match="no loaded eBPF object"):
+        ip.route_add(
+            "fc00::100/128 encap seg6local action End.BPF endpoint obj missing.o dev eth0"
+        )
+
+
+def test_unknown_keyword_rejected(ip):
+    with pytest.raises(IpRouteError, match="unknown keyword"):
+        ip.route_add("fc00::/64 frobnicate eth0")
+
+
+def test_unknown_action_rejected(ip):
+    with pytest.raises(IpRouteError, match="unknown seg6local action"):
+        ip.route_add("fc00::/64 encap seg6local action End.Bogus dev eth0")
+
+
+def test_truncated_command_rejected(ip):
+    with pytest.raises(IpRouteError, match="expected"):
+        ip.route_add("fc00::/64 encap seg6 mode encap segs")
+
+
+def test_mixed_nexthop_and_via_rejected(ip):
+    with pytest.raises(IpRouteError, match="not both"):
+        ip.route_add("fc00::/64 via fc00::1 dev eth0 nexthop via fc00::2 dev eth1")
+
+
+def test_addr_add(ip):
+    ip.addr_add("fc00:e::1/64 dev eth0")
+    assert pton("fc00:e::1") in ip.node.addresses

@@ -1,0 +1,201 @@
+"""seg6 transit behaviours and static seg6local actions."""
+
+import pytest
+
+from repro.net import (
+    End,
+    EndB6,
+    EndB6Encaps,
+    EndDT6,
+    EndDX6,
+    EndT,
+    EndX,
+    Node,
+    Packet,
+    SRH,
+    Seg6Encap,
+    decap_outer,
+    make_srh,
+    make_srv6_udp_packet,
+    make_udp_packet,
+    pop_srh,
+    pton,
+    push_outer_encap,
+    push_srh_inline,
+)
+
+
+def plain_packet() -> bytes:
+    return bytes(make_udp_packet("fc00::1", "fc00:2::2", 1111, 2222, b"hello").data)
+
+
+# --- byte-level transforms ----------------------------------------------------
+
+
+def test_push_outer_encap_structure():
+    srh = make_srh(["fc00::a", "fc00::b"], next_header=41)
+    out = push_outer_encap(plain_packet(), pton("fc00::9"), srh)
+    pkt = Packet(out)
+    assert pkt.src == pton("fc00::9")
+    assert pkt.dst == pton("fc00::a")  # first segment
+    assert pkt.next_header == 43
+    parsed, _ = pkt.srh()
+    assert parsed.next_header == 41
+    assert pkt.ipv6().payload_length == srh.wire_len + len(plain_packet())
+
+
+def test_encap_decap_roundtrip():
+    srh = make_srh(["fc00::a"], next_header=41)
+    out = push_outer_encap(plain_packet(), pton("fc00::9"), srh)
+    assert decap_outer(out) == plain_packet()
+
+
+def test_push_inline_structure():
+    original = plain_packet()
+    srh = make_srh(["fc00::a", "fc00:2::2"], next_header=17)
+    out = push_srh_inline(original, srh)
+    pkt = Packet(out)
+    assert pkt.dst == pton("fc00::a")
+    assert pkt.next_header == 43
+    assert pkt.l4() == (17, 1111, 2222)
+    assert pkt.ipv6().payload_length == len(original) - 40 + srh.wire_len
+
+
+def test_inline_pop_roundtrip():
+    original = plain_packet()
+    srh = make_srh(["fc00::a", "fc00:2::2"], next_header=17)
+    inserted = push_srh_inline(original, srh)
+    popped = pop_srh(inserted)
+    # Destination was rewritten to the first segment by insertion; the
+    # payload and structure must otherwise be intact.
+    restored = Packet(popped)
+    assert restored.udp_payload() == b"hello"
+    assert restored.next_header == 17
+
+
+def test_pop_srh_requires_srh():
+    with pytest.raises(ValueError):
+        pop_srh(plain_packet())
+
+
+def test_decap_requires_inner_ipv6():
+    with pytest.raises(ValueError):
+        decap_outer(plain_packet())
+
+
+# --- Seg6Encap lwtunnel -------------------------------------------------------------
+
+
+def test_seg6encap_encap_mode():
+    encap = Seg6Encap(segments=[pton("fc00::a"), pton("fc00::b")], mode="encap")
+    out = encap.apply(plain_packet(), pton("fc00::9"))
+    pkt = Packet(out)
+    assert pkt.dst == pton("fc00::a")
+    srh, _ = pkt.srh()
+    assert srh.segments_left == 1
+    assert srh.final_segment == pton("fc00::b")
+
+
+def test_seg6encap_inline_appends_original_dst():
+    encap = Seg6Encap(segments=[pton("fc00::a")], mode="inline")
+    out = encap.apply(plain_packet(), pton("fc00::9"))
+    srh, _ = Packet(out).srh()
+    assert srh.final_segment == pton("fc00:2::2")
+    assert srh.segments_left == 1
+
+
+def test_seg6encap_validates_mode():
+    with pytest.raises(ValueError):
+        Seg6Encap(segments=[pton("fc00::a")], mode="bogus")
+    with pytest.raises(ValueError):
+        Seg6Encap(segments=[], mode="encap")
+
+
+# --- static seg6local actions ---------------------------------------------------------
+
+
+def srv6_packet(path, **kwargs) -> Packet:
+    return make_srv6_udp_packet("fc00::1", path, 1111, 2222, b"x", **kwargs)
+
+
+@pytest.fixture
+def node():
+    n = Node("N")
+    n.add_address("fc00:e::1")
+    return n
+
+
+def test_end_advances(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    disposition = End().process(pkt, node)
+    assert disposition.action == "forward"
+    assert pkt.dst == pton("fc00:2::2")
+    srh, _ = pkt.srh()
+    assert srh.segments_left == 0
+
+
+def test_end_requires_srh(node):
+    pkt = Packet(plain_packet())
+    assert End().process(pkt, node).action == "drop"
+
+
+def test_end_rejects_exhausted_segments(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    End().process(pkt, node)
+    assert End().process(pkt, node).action == "drop"  # segments_left now 0
+
+
+def test_end_x_forces_nexthop(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    disposition = EndX(nh6="fc00::55").process(pkt, node)
+    assert disposition.nh6 == pton("fc00::55")
+    assert pkt.dst == pton("fc00:2::2")
+
+
+def test_end_t_selects_table(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    disposition = EndT(table_id=100).process(pkt, node)
+    assert disposition.table_id == 100
+
+
+def test_end_dt6_decapsulates(node):
+    inner = plain_packet()
+    srh = make_srh(["fc00:e::100"], next_header=41)
+    outer = push_outer_encap(inner, pton("fc00::9"), srh)
+    pkt = Packet(outer)
+    disposition = EndDT6(table_id=254).process(pkt, node)
+    assert disposition.action == "forward"
+    assert bytes(pkt.data) == inner
+
+
+def test_end_dt6_rejects_pending_segments(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])  # segments_left == 1
+    assert EndDT6(table_id=254).process(pkt, node).action == "drop"
+
+
+def test_end_dx6_decapsulates_to_nexthop(node):
+    inner = plain_packet()
+    srh = make_srh(["fc00:e::100"], next_header=41)
+    pkt = Packet(push_outer_encap(inner, pton("fc00::9"), srh))
+    disposition = EndDX6(nh6="fc00::66").process(pkt, node)
+    assert disposition.nh6 == pton("fc00::66")
+    assert bytes(pkt.data) == inner
+
+
+def test_end_b6_inserts_policy_without_advance(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    EndB6(segments=["fc00::b1", "fc00::b2"]).process(pkt, node)
+    srh, _ = pkt.srh()
+    # New policy SRH on top: first segment of the policy is now the DA.
+    assert pkt.dst == pton("fc00::b1")
+    assert srh.final_segment == pton("fc00:e::100")
+
+
+def test_end_b6_encaps_advances_then_wraps(node):
+    pkt = srv6_packet(["fc00:e::100", "fc00:2::2"])
+    EndB6Encaps(segments=["fc00::b1"], source="fc00:e::1").process(pkt, node)
+    outer = Packet(bytes(pkt.data))
+    assert outer.dst == pton("fc00::b1")
+    assert outer.src == pton("fc00:e::1")
+    inner = decap_outer(bytes(pkt.data))
+    assert Packet(inner).dst == pton("fc00:2::2")  # advanced before encap

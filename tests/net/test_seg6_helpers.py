@@ -1,0 +1,463 @@
+"""The SRv6 eBPF helpers of §3.1: restrictions and semantics."""
+
+import pytest
+
+from repro.ebpf import Program
+from repro.net import (
+    EndBPF,
+    Node,
+    Packet,
+    SEG6LOCAL_HELPERS,
+    SRH,
+    make_srv6_udp_packet,
+    make_udp_packet,
+    ntop,
+    pton,
+)
+
+SEG = "fc00:e::100"
+
+
+@pytest.fixture
+def router():
+    node = Node("R")
+    node.add_device("eth0")
+    node.add_device("eth1")
+    node.add_address("fc00:e::1")
+    node.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
+    return node
+
+
+def run_end_bpf(router, asm, pkt, jit=True):
+    prog = Program(asm, jit=jit, allowed_helpers=SEG6LOCAL_HELPERS)
+    router.add_route(f"{SEG}/128", encap=EndBPF(prog))
+    router.receive(pkt, router.devices["eth0"])
+    buf = router.devices["eth1"].tx_buffer
+    return buf.pop() if buf else None
+
+
+def srv6_pkt(**kwargs):
+    return make_srv6_udp_packet("fc00:1::1", [SEG, "fc00:2::2"], 1111, 2222, b"y" * 32, **kwargs)
+
+
+# --- lwt_seg6_store_bytes ------------------------------------------------------
+
+
+STORE_FLAGS = """
+    mov r6, r1
+    mov r2, 0xab
+    stxb [r10-1], r2
+    mov r1, r6
+    mov r2, 45                 ; flags byte (40 + 5)
+    mov r3, r10
+    add r3, -1
+    mov r4, 1
+    call lwt_seg6_store_bytes
+    mov r0, 0
+    exit
+"""
+
+
+def test_store_bytes_flags_field(router):
+    out = run_end_bpf(router, STORE_FLAGS, srv6_pkt())
+    srh, _ = out.srh()
+    assert srh.flags == 0xAB
+
+
+def run_store_at(router, offset, length=1):
+    """Return the helper's return code for a write at (offset, length)."""
+    asm = f"""
+    mov r6, r1
+    mov r2, 0
+    stxdw [r10-8], r2
+    mov r1, r6
+    mov r2, {offset}
+    mov r3, r10
+    add r3, -8
+    mov r4, {length}
+    call lwt_seg6_store_bytes
+    jeq r0, 0, ok
+    mov r0, 2
+    exit
+    ok:
+    mov r0, 0
+    exit
+    """
+    out = run_end_bpf(router, asm, srv6_pkt())
+    return out is not None  # BPF_DROP (=2) means the helper refused
+
+
+def test_store_bytes_rejects_segments_left(router):
+    assert not run_store_at(router, 43)  # segments_left byte
+
+
+def test_store_bytes_rejects_hdr_ext_len(router):
+    assert not run_store_at(router, 41)
+
+
+def test_store_bytes_rejects_segment_list(router):
+    assert not run_store_at(router, 48, 8)  # inside the segment list
+
+
+def test_store_bytes_accepts_tag(router):
+    assert run_store_at(router, 46, 2)
+
+
+def test_store_bytes_rejects_straddling_write(router):
+    # flags..tag is editable (45..48) but 47..49 spills into the segments.
+    assert not run_store_at(router, 47, 2)
+
+
+def test_store_bytes_rejects_past_srh_end(router):
+    assert not run_store_at(router, 80, 8)  # beyond the (TLV-less) SRH
+
+
+# --- lwt_seg6_adjust_srh ----------------------------------------------------------
+
+
+GROW_AND_FILL = """
+    mov r6, r1
+    mov r1, r6
+    mov r2, 80                 ; end of the 2-segment SRH (40 + 8 + 32)
+    mov r3, 8
+    call lwt_seg6_adjust_srh
+    jne r0, 0, fail
+    stb [r10-8], 10
+    stb [r10-7], 6
+    stw [r10-6], 0
+    sth [r10-2], 0
+    mov r1, r6
+    mov r2, 80
+    mov r3, r10
+    add r3, -8
+    mov r4, 8
+    call lwt_seg6_store_bytes
+    jne r0, 0, fail
+    mov r0, 0
+    exit
+    fail:
+    mov r0, 2
+    exit
+"""
+
+
+def test_adjust_srh_grows_tlv_area(router):
+    pkt = srv6_pkt()
+    before_len = len(pkt.data)
+    out = run_end_bpf(router, GROW_AND_FILL, pkt)
+    assert out is not None
+    assert len(out.data) == before_len + 8
+    srh, _ = out.srh()
+    assert srh.hdr_ext_len == 5
+    assert srh.find_tlv(10) is not None
+    assert out.ipv6().payload_length == before_len - 40 + 8
+    # Inner UDP still intact after the TLV area grew.
+    assert out.udp_payload() == b"y" * 32
+
+
+def test_adjust_srh_without_fill_drops_packet(router):
+    # Grown space left as zero bytes is an invalid TLV area -> the packet
+    # fails the post-run SRH validation and must be dropped.
+    asm = """
+    mov r6, r1
+    mov r1, r6
+    mov r2, 80
+    mov r3, 8
+    call lwt_seg6_adjust_srh
+    mov r0, 0
+    exit
+    """
+    out = run_end_bpf(router, asm, srv6_pkt())
+    # Zero-filled TLV area parses as Pad1s, which *is* valid; ensure
+    # the SRH was revalidated rather than rejected.
+    assert out is not None
+    srh, _ = out.srh()
+    assert len(srh.tlv_bytes) == 8
+
+
+def adjust(router, offset, delta):
+    asm = f"""
+    mov r6, r1
+    mov r1, r6
+    mov r2, {offset}
+    mov r3, {delta}
+    call lwt_seg6_adjust_srh
+    jeq r0, 0, ok
+    mov r0, 2
+    exit
+    ok:
+    mov r0, 0
+    exit
+    """
+    return run_end_bpf(router, asm, srv6_pkt()) is not None
+
+
+def test_adjust_srh_rejects_unaligned_delta(router):
+    assert not adjust(router, 80, 4)
+
+
+def test_adjust_srh_rejects_offset_before_tlv_area(router):
+    assert not adjust(router, 48, 8)
+
+
+def test_adjust_srh_rejects_shrink_below_segments(router):
+    assert not adjust(router, 80, -8)
+
+
+def test_adjust_srh_shrink_removes_tlvs(router):
+    from repro.net.srh import Tlv
+
+    pkt = make_srv6_udp_packet(
+        "fc00:1::1", [SEG, "fc00:2::2"], 1, 2, b"z",
+        tlvs=[Tlv(10, b"abcdef")],
+    )
+    asm = """
+    mov r6, r1
+    mov r1, r6
+    mov r2, 80
+    mov r3, -8
+    call lwt_seg6_adjust_srh
+    jeq r0, 0, ok
+    mov r0, 2
+    exit
+    ok:
+    mov r0, 0
+    exit
+    """
+    out = run_end_bpf(router, asm, pkt)
+    assert out is not None
+    srh, _ = out.srh()
+    assert srh.tlv_bytes == b""
+
+
+# --- lwt_seg6_action ------------------------------------------------------------------
+
+
+END_X_ACTION = """
+    mov r6, r1
+    stb [r10-16], 0xfc
+    stb [r10-15], 0
+    stw [r10-14], 0
+    stw [r10-10], 0
+    stw [r10-6], 0
+    sth [r10-2], 0
+    stb [r10-1], 0x77
+    mov r1, r6
+    mov r2, 2                  ; SEG6_LOCAL_ACTION_END_X
+    mov r3, r10
+    add r3, -16
+    mov r4, 16
+    call lwt_seg6_action
+    jne r0, 0, fail
+    mov r0, 7                  ; BPF_REDIRECT
+    exit
+    fail:
+    mov r0, 2
+    exit
+"""
+
+
+def test_action_end_x_redirects(router):
+    router.add_route("fc00::77/128", via="fc00::77", dev="eth1")
+    out = run_end_bpf(router, END_X_ACTION, srv6_pkt())
+    assert out is not None
+    # Packet still addressed to the next segment; it left via the
+    # forced nexthop's route.
+    assert out.dst == pton("fc00:2::2")
+
+
+def test_action_end_t_uses_table(router):
+    router.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1", table_id=77)
+    asm = """
+    mov r6, r1
+    stw [r10-4], 77
+    mov r1, r6
+    mov r2, 3                  ; SEG6_LOCAL_ACTION_END_T
+    mov r3, r10
+    add r3, -4
+    mov r4, 4
+    call lwt_seg6_action
+    jne r0, 0, fail
+    mov r0, 7
+    exit
+    fail:
+    mov r0, 2
+    exit
+    """
+    # Remove the main-table route: only table 77 can forward this.
+    router.main_table().remove(pton("fc00:2::"), 64)
+    out = run_end_bpf(router, asm, srv6_pkt())
+    assert out is not None
+
+
+def test_action_end_dt6_decapsulates(router):
+    from repro.net import make_srh, push_outer_encap
+
+    inner = bytes(make_udp_packet("fc00:1::1", "fc00:2::2", 7, 8, b"inner").data)
+    srh = make_srh([SEG, "fc00:2::2"], next_header=41)
+    # Hand-build: outer dst = SEG (current segment), one more segment after.
+    outer = push_outer_encap(inner, pton("fc00::9"), srh)
+    pkt = Packet(outer)
+    asm = """
+    mov r6, r1
+    stw [r10-4], 254
+    mov r1, r6
+    mov r2, 7                  ; SEG6_LOCAL_ACTION_END_DT6
+    mov r3, r10
+    add r3, -4
+    mov r4, 4
+    call lwt_seg6_action
+    jne r0, 0, fail
+    mov r0, 7
+    exit
+    fail:
+    mov r0, 2
+    exit
+    """
+    out = run_end_bpf(router, asm, pkt)
+    assert out is not None
+    assert out.srh() is None
+    assert out.udp_payload() == b"inner"
+
+
+def test_action_bad_param_size_fails(router):
+    asm = """
+    mov r6, r1
+    stw [r10-4], 0
+    mov r1, r6
+    mov r2, 2                  ; END_X wants 16 bytes, give 4
+    mov r3, r10
+    add r3, -4
+    mov r4, 4
+    call lwt_seg6_action
+    jeq r0, 0, ok
+    mov r0, 2
+    exit
+    ok:
+    mov r0, 0
+    exit
+    """
+    assert run_end_bpf(router, asm, srv6_pkt()) is None
+
+
+def test_action_unknown_action_fails(router):
+    asm = """
+    mov r6, r1
+    stw [r10-4], 0
+    mov r1, r6
+    mov r2, 99
+    mov r3, r10
+    add r3, -4
+    mov r4, 4
+    call lwt_seg6_action
+    jeq r0, 0, ok
+    mov r0, 2
+    exit
+    ok:
+    mov r0, 0
+    exit
+    """
+    assert run_end_bpf(router, asm, srv6_pkt()) is None
+
+
+# --- get_ecmp_nexthops -------------------------------------------------------------------
+
+
+def test_ecmp_helper_counts_and_addresses(router):
+    from repro.net import Nexthop
+
+    router.add_route(
+        "fc00:9::/64",
+        nexthops=[Nexthop(via="fc00::a", dev="eth1"), Nexthop(via="fc00::b", dev="eth1")],
+    )
+    asm = """
+    mov r6, r1
+    ; query address fc00:9::1 on the stack
+    stb [r10-16], 0xfc
+    stb [r10-15], 0
+    stb [r10-14], 0
+    stb [r10-13], 9
+    stw [r10-12], 0
+    stw [r10-8], 0
+    sth [r10-4], 0
+    stb [r10-2], 0
+    stb [r10-1], 1
+    mov r1, r6
+    mov r2, r10
+    add r2, -16
+    mov r3, r10
+    add r3, -80
+    mov r4, 64
+    call get_ecmp_nexthops
+    exit
+    """
+    prog = Program(asm, allowed_helpers=SEG6LOCAL_HELPERS)
+    hctx = prog.make_context(bytes(srv6_pkt().data))
+    hctx.node = router
+    hctx.hook = "seg6local"
+    assert prog.run(hctx) == 2
+
+
+def test_ecmp_helper_respects_buffer_size(router):
+    from repro.net import Nexthop
+
+    router.add_route(
+        "fc00:9::/64",
+        nexthops=[
+            Nexthop(via="fc00::a", dev="eth1"),
+            Nexthop(via="fc00::b", dev="eth1"),
+            Nexthop(via="fc00::c", dev="eth1"),
+        ],
+    )
+    asm = """
+    mov r6, r1
+    stb [r10-16], 0xfc
+    stb [r10-15], 0
+    stb [r10-14], 0
+    stb [r10-13], 9
+    stw [r10-12], 0
+    stw [r10-8], 0
+    stw [r10-4], 0
+    mov r1, r6
+    mov r2, r10
+    add r2, -16
+    mov r3, r10
+    add r3, -48
+    mov r4, 32
+    call get_ecmp_nexthops
+    exit
+    """
+    prog = Program(asm, allowed_helpers=SEG6LOCAL_HELPERS)
+    hctx = prog.make_context(bytes(srv6_pkt().data))
+    hctx.node = router
+    hctx.hook = "seg6local"
+    assert prog.run(hctx) == 2  # only two fit in 32 bytes
+
+
+# --- hook restrictions ---------------------------------------------------------------------
+
+
+def test_push_encap_not_on_seg6local_hook(router):
+    from repro.ebpf import VerifierError
+
+    asm = """
+    mov r1, r1
+    stdw [r10-8], 0
+    mov r2, 0
+    mov r3, r10
+    add r3, -8
+    mov r4, 8
+    call lwt_push_encap
+    mov r0, 0
+    exit
+    """
+    with pytest.raises(VerifierError, match="not available"):
+        Program(asm, allowed_helpers=SEG6LOCAL_HELPERS)
+
+
+def test_srh_modification_flag_set(router):
+    prog = Program(STORE_FLAGS, allowed_helpers=SEG6LOCAL_HELPERS)
+    hctx = prog.make_context(bytes(srv6_pkt().data))
+    hctx.hook = "seg6local"
+    prog.run(hctx)
+    assert hctx.metadata.get("srh_modified") is True

@@ -1,0 +1,170 @@
+"""netem qdisc model and the CPU cost model."""
+
+from repro.net import NetDev, Node, make_udp_packet
+from repro.sim import CostModel, CpuQueue, NetemQdisc, Scheduler
+from repro.sim.scheduler import NS_PER_MS, NS_PER_SEC
+
+
+def make_dev(sched):
+    node = Node("N", clock_ns=sched.now_fn())
+    return node.add_device("eth0")
+
+
+def drain_times(sched, dev, count, qdisc, spacing_ns=0, size=100):
+    """Enqueue ``count`` packets, return their emission times."""
+    times = []
+    original_emit = dev._emit
+
+    def capture(pkt):
+        times.append(sched.now_ns)
+
+    dev._emit = capture
+    for i in range(count):
+        sched.schedule(i * spacing_ns, qdisc.enqueue, make_udp_packet(
+            "fc00::1", "fc00::2", 1, 2, bytes(size)), dev)
+    sched.run()
+    dev._emit = original_emit
+    return times
+
+
+def test_fixed_delay():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, delay_ns=5 * NS_PER_MS)
+    times = drain_times(sched, dev, 1, qdisc)
+    assert times == [5 * NS_PER_MS]
+
+
+def test_rate_limiting_paces_packets():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, rate_bps=1e6)
+    times = drain_times(sched, dev, 3, qdisc, size=100)
+    wire = 148  # 100 payload + 48 headers
+    per_packet = int(wire * 8 * NS_PER_SEC / 1e6)
+    assert times[1] - times[0] == per_packet
+    assert times[2] - times[1] == per_packet
+
+
+def test_jitter_varies_delay():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, delay_ns=10 * NS_PER_MS, jitter_ns=5 * NS_PER_MS, seed=3)
+    times = drain_times(sched, dev, 20, qdisc, spacing_ns=20 * NS_PER_MS)
+    deltas = {t - i * 20 * NS_PER_MS for i, t in enumerate(times)}
+    assert len(deltas) > 5  # the hold times actually vary
+    assert all(5 * NS_PER_MS <= d <= 15 * NS_PER_MS for d in deltas)
+
+
+def test_ordered_mode_preserves_fifo():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(
+        sched, delay_ns=10 * NS_PER_MS, jitter_ns=9 * NS_PER_MS, seed=1, ordered=True
+    )
+    drain_times(sched, dev, 200, qdisc, spacing_ns=100_000)
+    assert qdisc.stats.reordered == 0
+
+
+def test_unordered_mode_reorders():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(
+        sched, delay_ns=10 * NS_PER_MS, jitter_ns=9 * NS_PER_MS, seed=1, ordered=False
+    )
+    drain_times(sched, dev, 200, qdisc, spacing_ns=100_000)
+    assert qdisc.stats.reordered > 0
+
+
+def test_loss_probability():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, loss=0.5, seed=5)
+    times = drain_times(sched, dev, 400, qdisc)
+    assert 120 < len(times) < 280
+    assert qdisc.stats.lost == 400 - len(times)
+
+
+def test_queue_limit():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, delay_ns=NS_PER_SEC, queue_limit=3)
+    for _ in range(10):
+        qdisc.enqueue(make_udp_packet("fc00::1", "fc00::2", 1, 2, b""), dev)
+    assert qdisc.stats.lost == 7
+
+
+def test_set_delay_reconfigures_live():
+    sched = Scheduler()
+    dev = make_dev(sched)
+    qdisc = NetemQdisc(sched, delay_ns=NS_PER_MS)
+    qdisc.set_delay(7 * NS_PER_MS)
+    times = drain_times(sched, dev, 1, qdisc)
+    assert times == [7 * NS_PER_MS]
+
+
+# --- CPU model --------------------------------------------------------------------
+
+
+def test_cpu_serialises_processing():
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    model = CostModel(forward_ns=1000)
+    cpu = CpuQueue(sched, model, node)
+    done = []
+    for _ in range(3):
+        cpu.submit(
+            make_udp_packet("fc00::1", "fc00::2", 1, 2, b""),
+            lambda pkt: done.append(sched.now_ns),
+        )
+    sched.run()
+    assert done == [1000, 2000, 3000]
+
+
+def test_cpu_queue_limit_drops():
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    cpu = CpuQueue(sched, CostModel(forward_ns=100), node, queue_limit=2)
+    for _ in range(5):
+        cpu.submit(make_udp_packet("fc00::1", "fc00::2", 1, 2, b""), lambda pkt: None)
+    sched.run()
+    assert cpu.stats.dropped == 3
+    assert cpu.stats.processed == 2
+
+
+def test_cost_model_classifier():
+    calls = []
+
+    def classify(pkt, node):
+        calls.append(pkt)
+        return "bpf_interp"
+
+    model = CostModel(forward_ns=1, bpf_interp_ns=999, classifier=classify)
+    cost = model.cost_ns(make_udp_packet("fc00::1", "fc00::2", 1, 2, b""), None)
+    assert cost == 999
+    assert len(calls) == 1
+
+
+def test_cpu_utilisation():
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    cpu = CpuQueue(sched, CostModel(forward_ns=500), node)
+    for _ in range(4):
+        cpu.submit(make_udp_packet("fc00::1", "fc00::2", 1, 2, b""), lambda pkt: None)
+    sched.run()
+    assert cpu.utilisation(4000) == 0.5
+
+
+def test_node_routes_through_cpu_queue():
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    node.add_device("eth0")
+    node.add_device("eth1")
+    node.add_address("fc00::e")
+    node.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
+    node.cpu = CpuQueue(sched, CostModel(forward_ns=777), node)
+    node.receive(make_udp_packet("fc00::1", "fc00:2::2", 1, 2, b""), node.devices["eth0"])
+    assert not node.devices["eth1"].tx_buffer  # not processed yet
+    sched.run()
+    assert len(node.devices["eth1"].tx_buffer) == 1
+    assert sched.now_ns == 777

@@ -1,0 +1,97 @@
+"""pcap capture of simulated traffic."""
+
+import struct
+
+import pytest
+
+from repro.net import Node, make_srv6_udp_packet, make_udp_packet
+from repro.sim.pcap import LINKTYPE_RAW, PCAP_MAGIC, PcapWriter, read_pcap, tap_device
+
+
+def test_file_header(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path):
+        pass
+    raw = path.read_bytes()
+    magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack_from("<IHHiIII", raw)
+    assert magic == PCAP_MAGIC
+    assert (major, minor) == (2, 4)
+    assert linktype == LINKTYPE_RAW
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "t.pcap"
+    pkt = make_udp_packet("fc00::1", "fc00::2", 1, 2, b"payload")
+    with PcapWriter(path) as writer:
+        writer.write_packet(pkt, timestamp_ns=1_500_000_000)
+        writer.write(b"\x60" + b"\x00" * 39, timestamp_ns=2_000_001_000)
+    records = read_pcap(path)
+    assert len(records) == 2
+    assert records[0][1] == bytes(pkt.data)
+    assert records[0][0] == 1_500_000_000
+    assert records[1][0] == 2_000_001_000
+
+
+def test_snaplen_truncates(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path, snaplen=16) as writer:
+        writer.write(bytes(100))
+    (ts, data), = read_pcap(path)
+    assert len(data) == 16
+
+
+def test_tap_tx_captures_forwarded_traffic(tmp_path):
+    node = Node("R", clock_ns=lambda: 7_000)
+    node.add_device("eth0")
+    node.add_device("eth1")
+    node.add_address("fc00:e::1")
+    node.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
+    path = tmp_path / "tx.pcap"
+    with PcapWriter(path) as writer:
+        tap_device(node.devices["eth1"], writer, direction="tx")
+        for i in range(3):
+            node.receive(
+                make_udp_packet("fc00:1::1", "fc00:2::2", 1, 2, b"x"),
+                node.devices["eth0"],
+            )
+        assert writer.packets_written == 3
+    records = read_pcap(path)
+    assert all(data[0] >> 4 == 6 for _ts, data in records)  # IPv6 version
+
+
+def test_captured_srv6_packet_parses_back(tmp_path):
+    from repro.net import SRH
+
+    node = Node("R")
+    node.add_device("eth0")
+    node.add_device("eth1")
+    node.add_address("fc00:e::1")
+    node.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
+    from repro.net import End
+
+    node.add_route("fc00:e::100/128", encap=End())
+    path = tmp_path / "srv6.pcap"
+    with PcapWriter(path) as writer:
+        tap_device(node.devices["eth1"], writer)
+        node.receive(
+            make_srv6_udp_packet("fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1, 2, b"y"),
+            node.devices["eth0"],
+        )
+    (_ts, data), = read_pcap(path)
+    srh = SRH.parse(data, 40)
+    assert srh.segments_left == 0  # captured after the End action
+
+
+def test_tap_direction_validation(tmp_path):
+    node = Node("R")
+    dev = node.add_device("eth0")
+    with PcapWriter(tmp_path / "x.pcap") as writer:
+        with pytest.raises(ValueError):
+            tap_device(dev, writer, direction="sideways")
+
+
+def test_read_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.pcap"
+    path.write_bytes(b"not a pcap at all, sorry")
+    with pytest.raises(ValueError):
+        read_pcap(path)

@@ -1,0 +1,154 @@
+"""Discrete-event scheduler and links."""
+
+import pytest
+
+from repro.net import Node, make_udp_packet
+from repro.sim import Link, Scheduler
+from repro.sim.scheduler import NS_PER_MS, NS_PER_SEC
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.schedule(300, order.append, "c")
+    sched.schedule(100, order.append, "a")
+    sched.schedule(200, order.append, "b")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_in_fifo_order():
+    sched = Scheduler()
+    order = []
+    sched.schedule(100, order.append, 1)
+    sched.schedule(100, order.append, 2)
+    sched.run()
+    assert order == [1, 2]
+
+
+def test_clock_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(500, lambda: seen.append(sched.now_ns))
+    sched.run()
+    assert seen == [500]
+
+
+def test_run_until_horizon():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(100, seen.append, 1)
+    sched.schedule(900, seen.append, 2)
+    sched.run(until_ns=500)
+    assert seen == [1]
+    assert sched.now_ns == 500
+    sched.run()
+    assert seen == [1, 2]
+
+
+def test_cancelled_event_skipped():
+    sched = Scheduler()
+    seen = []
+    event = sched.schedule(100, seen.append, 1)
+    event.cancel()
+    sched.run()
+    assert seen == []
+
+
+def test_cannot_schedule_in_past():
+    sched = Scheduler()
+    sched.schedule(100, lambda: None)
+    sched.run()
+    with pytest.raises(ValueError):
+        sched.schedule_at(50, lambda: None)
+
+
+def test_chained_scheduling():
+    sched = Scheduler()
+    ticks = []
+
+    def tick():
+        ticks.append(sched.now_ns)
+        if len(ticks) < 3:
+            sched.schedule(10, tick)
+
+    sched.schedule(0, tick)
+    sched.run()
+    assert ticks == [0, 10, 20]
+
+
+def test_max_events_budget():
+    sched = Scheduler()
+
+    def forever():
+        sched.schedule(1, forever)
+
+    sched.schedule(0, forever)
+    executed = sched.run(max_events=50)
+    assert executed == 50
+
+
+# --- links -------------------------------------------------------------------
+
+
+def two_nodes():
+    sched = Scheduler()
+    clock = sched.now_fn()
+    a, b = Node("A", clock_ns=clock), Node("B", clock_ns=clock)
+    a.add_device("eth0")
+    b.add_device("eth0")
+    a.add_address("fc00::a")
+    b.add_address("fc00::b")
+    a.add_route("fc00::b/128", via="fc00::b", dev="eth0")
+    b.add_route("fc00::a/128", via="fc00::a", dev="eth0")
+    return sched, a, b
+
+
+def test_link_delivers_after_delay():
+    sched, a, b = two_nodes()
+    Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e9, delay_ns=1 * NS_PER_MS)
+    seen = []
+    b.bind(lambda pkt, node: seen.append(sched.now_ns), proto=17, port=5)
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"x" * 100))
+    sched.run()
+    assert len(seen) == 1
+    # 148 bytes at 1 Gb/s = 1184 ns serialisation + 1 ms propagation.
+    assert seen[0] == 1 * NS_PER_MS + int(148 * 8)
+
+
+def test_link_serialisation_spaces_packets():
+    sched, a, b = two_nodes()
+    Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e6, delay_ns=0)
+    times = []
+    b.bind(lambda pkt, node: times.append(sched.now_ns), proto=17, port=5)
+    for _ in range(3):
+        a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"x" * 77))
+    sched.run()
+    assert len(times) == 3
+    gap = times[1] - times[0]
+    assert gap == times[2] - times[1]
+    assert gap == int(125 * 8 * NS_PER_SEC / 1e6)  # 125 wire bytes at 1 Mb/s
+
+
+def test_link_queue_limit_drops():
+    sched, a, b = two_nodes()
+    link = Link(
+        sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e3, delay_ns=0, queue_limit=5
+    )
+    for _ in range(10):
+        a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b""))
+    sched.run()
+    assert link.a_to_b.stats.dropped == 5
+    assert link.a_to_b.stats.delivered == 5
+
+
+def test_link_is_bidirectional():
+    sched, a, b = two_nodes()
+    Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e9, delay_ns=100)
+    seen = []
+    a.bind(lambda pkt, node: seen.append("a"), proto=17, port=5)
+    b.bind(lambda pkt, node: seen.append("b"), proto=17, port=5)
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b""))
+    b.send(make_udp_packet("fc00::b", "fc00::a", 1, 5, b""))
+    sched.run()
+    assert sorted(seen) == ["a", "b"]
