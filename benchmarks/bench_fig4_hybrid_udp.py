@@ -18,6 +18,7 @@ linearly with payload size) and the baseline approaches line rate at
 
 import pytest
 
+import repro.bench.harness as harness
 from repro.ebpf import ArrayMap
 from repro.net import BpfLwt, EndDT6, Node, Seg6Encap, pton
 from repro.progs import wrr_config_value, wrr_prog
@@ -134,11 +135,14 @@ def run_series(mode: str, payload: int) -> float:
     # Constant *packet* rate across payload sizes (iperf3 driven at a rate
     # beyond capacity): the CPE stays the bottleneck at every point.
     per_flow_rate = OFFERED_PPS / 4 * (payload + 48) * 8
+    # Under --burst the generators emit 8-packet batches (same average
+    # rate, coarser pacing) and the datapath runs its burst fast path.
     flows = [
         UdpFlow(
             scheduler, s1, "fc00:1::1", "fc00:2::2",
             rate_bps=per_flow_rate, payload_size=payload,
             src_port=40000 + i, flow_label=i,
+            burst=8 if harness.BURST_MODE else 1,
         )
         for i in range(4)
     ]

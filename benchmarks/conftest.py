@@ -1,0 +1,23 @@
+"""Shared options for the benchmark suite.
+
+``pytest benchmarks/ --burst`` flips the figure benchmarks onto the
+burst-mode fast path (see ``docs/BENCHMARKS.md``); the default remains the
+scalar per-packet datapath the paper's methodology implies.  The knob is
+also available without pytest as ``REPRO_BURST=1``.
+"""
+
+import repro.bench.harness as harness
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--burst",
+        action="store_true",
+        default=False,
+        help="drive benchmark datapaths through the burst-mode fast path",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--burst"):
+        harness.BURST_MODE = True

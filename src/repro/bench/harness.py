@@ -10,6 +10,7 @@ not absolute testbed numbers.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..ebpf import Program
@@ -21,6 +22,11 @@ FUNC_SEGMENT = "fc00:e::100"
 SINK_PREFIX = "fc00:2::/64"
 SINK_ADDR = "fc00:2::2"
 BATCH_SIZE = 256
+
+# The --burst bench knob (see benchmarks/conftest.py) or REPRO_BURST=1 flips
+# every figure benchmark onto the burst-mode fast path; drive_batch() reads
+# it at call time so the knob also works for already-imported modules.
+BURST_MODE = os.environ.get("REPRO_BURST", "") not in ("", "0")
 
 
 def make_router() -> Node:
@@ -75,12 +81,22 @@ def make_fig2_router(variant: str) -> tuple[Node, list[Packet]]:
     return node, srv6
 
 
-def drive_batch(node: Node, packets: list[Packet]) -> int:
-    """Push a batch through the datapath; returns forwarded count."""
+def drive_batch(node: Node, packets: list[Packet], burst: bool | None = None) -> int:
+    """Push a batch through the datapath; returns forwarded count.
+
+    ``burst=None`` follows the module-wide :data:`BURST_MODE` knob;
+    ``True``/``False`` force the burst fast path or the scalar per-packet
+    path (the burst scaling bench drives both and compares).
+    """
+    if burst is None:
+        burst = BURST_MODE
     dev = node.devices["eth0"]
-    receive = node.receive
-    for pkt in packets:
-        receive(pkt, dev)
+    if burst:
+        node.receive_burst(packets, dev)
+    else:
+        receive = node.receive
+        for pkt in packets:
+            receive(pkt, dev)
     out = node.devices["eth1"].tx_buffer
     forwarded = len(out)
     out.clear()

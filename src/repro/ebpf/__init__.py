@@ -50,7 +50,7 @@ from .helpers import (
     register_helper,
 )
 from .insn import Instruction, decode_program, encode_program
-from .jit import JitProgram
+from .jit import CompiledHandler, JitProgram, compiled_handler
 from .maps import (
     ArrayMap,
     HashMap,
@@ -77,6 +77,7 @@ __all__ = [
     "BPF_REDIRECT",
     "BpfBuilder",
     "BpfError",
+    "CompiledHandler",
     "EncodingError",
     "HELPERS_BY_ID",
     "HELPER_IDS_BY_NAME",
@@ -102,6 +103,7 @@ __all__ = [
     "VerifierError",
     "VmFault",
     "assemble",
+    "compiled_handler",
     "decode_program",
     "disassemble",
     "encode_program",

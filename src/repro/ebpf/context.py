@@ -50,6 +50,9 @@ OFF_DATA_END = 0x18
 OFF_CB = 0x20
 CB_SLOTS = 5
 
+_STACK_ZERO = bytes(isa.STACK_SIZE)
+_CB_ZERO = bytes(CTX_SIZE - OFF_CB)
+
 # Static access rules consumed by the verifier: offset -> (size, writable, kind)
 # kind: "scalar", "pkt_ptr", "pkt_end_ptr"
 CTX_FIELDS = {
@@ -93,6 +96,23 @@ class SkbContext:
     @property
     def stack_top(self) -> int:
         return STACK_BASE + isa.STACK_SIZE
+
+    # -- burst-mode reuse ------------------------------------------------------
+    def rearm(self, packet_bytes: bytes, mark: int = 0) -> None:
+        """Rebind this context to a new packet, as if freshly constructed.
+
+        The burst fast path reuses one guest address space per (program,
+        attach point); this rewrites the packet region, the context
+        metadata block (length, mark, ``data_end``, zeroed ``cb``) and
+        zeroes the stack, restoring the exact state ``__init__`` builds.
+        """
+        self.packet_region.data[:] = packet_bytes
+        raw = self.ctx_region.data
+        struct.pack_into("<I", raw, OFF_LEN, len(packet_bytes) & isa.U32)
+        struct.pack_into("<I", raw, OFF_MARK, mark & isa.U32)
+        struct.pack_into("<Q", raw, OFF_DATA_END, PACKET_BASE + len(packet_bytes))
+        raw[OFF_CB:] = _CB_ZERO
+        self.stack_region.data[:] = _STACK_ZERO
 
     # -- packet mutation by helpers ------------------------------------------
     def packet_bytes(self) -> bytes:

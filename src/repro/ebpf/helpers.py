@@ -109,6 +109,30 @@ class HelperContext:
         self.hook = None
         self.metadata: dict = {}
 
+    # -- burst-mode reuse ------------------------------------------------------
+    def rearm(
+        self,
+        clock_ns: Callable[[], int],
+        rng: random.Random | None,
+        cpu: int = 0,
+    ) -> None:
+        """Reset per-invocation state so the context can be reused.
+
+        Mirrors ``__init__``: the scratch allocator rewinds (the memory
+        regions themselves are dropped by ``Memory.restore``), the trace
+        log and hook metadata are cleared, and the clock/rng/cpu bindings
+        are replaced for the new invocation.
+        """
+        self.clock_ns = clock_ns
+        self.rng = rng or random.Random(0)
+        self.cpu = cpu
+        self.trace_log.clear()
+        self._scratch_cursor = SCRATCH_BASE
+        self.packet = None
+        self.node = None
+        self.hook = None
+        self.metadata = {}
+
     # -- utilities for helper implementations -------------------------------
     def resolve_map(self, addr: int) -> Map:
         map_obj = self.maps_by_addr.get(addr)

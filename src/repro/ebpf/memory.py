@@ -84,6 +84,30 @@ class Memory:
                 return region
         return None
 
+    # -- burst-mode reuse ----------------------------------------------------
+    def snapshot(self) -> tuple[list[int], list[Region]]:
+        """Capture the region table so :meth:`restore` can drop later additions.
+
+        The :class:`Region` objects themselves are shared, not copied — a
+        snapshot freezes *which* regions are mapped, not their contents.
+        Used by the burst fast path to reset an address space between
+        invocations without rebuilding the stable regions.
+        """
+        return list(self._bases), list(self._regions)
+
+    def restore(self, snapshot: tuple[list[int], list[Region]]) -> None:
+        """Unmap every region added since ``snapshot`` was taken.
+
+        Regions are only ever added (helpers map scratch buffers and map
+        values lazily), so restoring the snapshot's table is exactly
+        equivalent to assembling a fresh address space from the stable
+        regions.
+        """
+        bases, regions = snapshot
+        if len(self._regions) != len(regions):
+            self._bases[:] = bases
+            self._regions[:] = regions
+
     # -- scalar accessors ----------------------------------------------------
     def load(self, addr: int, size: int) -> int:
         region = self.find(addr, size)

@@ -31,7 +31,7 @@ from .ipv6 import (
 )
 from .lwt_bpf import BpfLwt
 from .netdev import NetDev
-from .node import Node
+from .node import FlowTable, Node
 from .packet import (
     Packet,
     make_icmpv6_packet,
@@ -111,6 +111,7 @@ __all__ = [
     "MAIN_TABLE",
     "NetDev",
     "Nexthop",
+    "FlowTable",
     "Node",
     "PROTO_ICMPV6",
     "PROTO_IPV6",

@@ -43,6 +43,7 @@ def prefix_bits(addr: bytes, prefixlen: int) -> int:
 
 
 def matches_prefix(addr: bytes, prefix: bytes, prefixlen: int) -> bool:
+    """True when ``addr`` lies inside ``prefix``/``prefixlen``."""
     return prefix_bits(addr, prefixlen) == prefix_bits(prefix, prefixlen)
 
 

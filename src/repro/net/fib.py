@@ -61,6 +61,7 @@ class Route:
         self.prefix = as_addr(self.prefix)
 
     def select_nexthop(self, flow_hash: int) -> Nexthop | None:
+        """Pick a nexthop by flow hash (RFC 2992 hash-threshold, weight-expanded)."""
         if not self.nexthops:
             return None
         if len(self.nexthops) == 1:
@@ -82,17 +83,23 @@ class FibTable:
         self.table_id = table_id
         self._by_len: dict[int, dict[int, Route]] = {}
         self._lengths: list[int] = []  # descending
+        # Bumped on every add/remove; lookup memos (the node's flow table)
+        # pin the generation they resolved against and re-resolve on change.
+        self.generation = 0
 
     def add(self, route: Route) -> Route:
+        """Insert ``route``; bumps the table generation for lookup memos."""
         route.table = self.table_id
         bucket = self._by_len.setdefault(route.prefixlen, {})
         bucket[prefix_bits(route.prefix, route.prefixlen)] = route
         if route.prefixlen not in self._lengths:
             self._lengths.append(route.prefixlen)
             self._lengths.sort(reverse=True)
+        self.generation += 1
         return route
 
     def remove(self, prefix: bytes | str, prefixlen: int) -> None:
+        """Delete the route for ``prefix``/``prefixlen`` (KeyError if absent)."""
         prefix = as_addr(prefix)
         bucket = self._by_len.get(prefixlen)
         if not bucket:
@@ -101,6 +108,7 @@ class FibTable:
         if not bucket:
             del self._by_len[prefixlen]
             self._lengths.remove(prefixlen)
+        self.generation += 1
 
     def lookup(self, dst: bytes) -> Route | None:
         """Longest-prefix match for ``dst``."""
@@ -117,6 +125,7 @@ class FibTable:
         return list(route.nexthops) if route else []
 
     def routes(self) -> list[Route]:
+        """Every route in this table, in no particular order."""
         out = []
         for bucket in self._by_len.values():
             out.extend(bucket.values())

@@ -30,6 +30,7 @@ class HmacKeyStore:
         self._keys: dict[int, bytes] = {}
 
     def add_key(self, key_id: int, secret: bytes) -> None:
+        """Register ``secret`` under the 32-bit ``key_id``."""
         if not 0 < key_id < (1 << 32):
             raise ValueError("key id must be a positive 32-bit integer")
         if not secret:
@@ -37,6 +38,7 @@ class HmacKeyStore:
         self._keys[key_id] = bytes(secret)
 
     def get(self, key_id: int) -> bytes | None:
+        """The secret for ``key_id``, or None if the id is unknown."""
         return self._keys.get(key_id)
 
 
@@ -53,6 +55,7 @@ def _hmac_input(source: bytes, srh: SRH, key_id: int) -> bytes:
 
 
 def compute_hmac(source: bytes | str, srh: SRH, key_id: int, secret: bytes) -> bytes:
+    """SHA-256 HMAC over the RFC 8754 §2.1.2.1 input text, truncated to 32 bytes."""
     digest = _hmac.new(secret, _hmac_input(as_addr(source), srh, key_id), hashlib.sha256)
     return digest.digest()[:HMAC_LEN]
 

@@ -28,16 +28,19 @@ MAX_ERROR_PAYLOAD = 1280 - 40 - 8
 
 @dataclass
 class Icmpv6Message:
+    """One ICMPv6 message: type, code, checksum and body (RFC 4443 §2.1)."""
     msg_type: int
     code: int = 0
     checksum: int = 0
     body: bytes = b""  # everything after the 4-byte type/code/checksum
 
     def pack(self) -> bytes:
+        """Serialise to wire bytes (checksum as currently stored)."""
         return struct.pack(">BBH", self.msg_type, self.code, self.checksum) + self.body
 
     @classmethod
     def parse(cls, data: bytes, offset: int = 0) -> "Icmpv6Message":
+        """Parse a message starting at ``offset``; raises ValueError if truncated."""
         if len(data) - offset < 4:
             raise ValueError("truncated ICMPv6 message")
         msg_type, code, csum = struct.unpack_from(">BBH", data, offset)
@@ -45,6 +48,7 @@ class Icmpv6Message:
 
     @property
     def is_error(self) -> bool:
+        """True for error messages (type < 128, RFC 4443 §2.1)."""
         return self.msg_type < 128
 
 
@@ -63,15 +67,18 @@ def time_exceeded(offending_packet: bytes) -> Icmpv6Message:
 
 
 def dest_unreachable(offending_packet: bytes, code: int = 0) -> Icmpv6Message:
+    """Destination Unreachable carrying the truncated offending packet (§4.3 traceroute terminus)."""
     body = b"\x00\x00\x00\x00" + offending_packet[:MAX_ERROR_PAYLOAD]
     return Icmpv6Message(ICMPV6_DEST_UNREACH, code, 0, body)
 
 
 def echo_request(ident: int, seq: int, payload: bytes = b"") -> Icmpv6Message:
+    """Echo Request with the given identifier/sequence (ping probe)."""
     return Icmpv6Message(
         ICMPV6_ECHO_REQUEST, 0, 0, struct.pack(">HH", ident, seq) + payload
     )
 
 
 def echo_reply(request: Icmpv6Message) -> Icmpv6Message:
+    """Echo Reply mirroring ``request``'s identifier, sequence and payload."""
     return Icmpv6Message(ICMPV6_ECHO_REPLY, 0, 0, request.body)

@@ -42,6 +42,7 @@ class IPv6Header:
             raise ValueError(f"traffic class out of range: {self.traffic_class}")
 
     def pack(self) -> bytes:
+        """Serialise the fixed 40-byte header (RFC 8200 §3)."""
         word0 = (self.version << 28) | (self.traffic_class << 20) | self.flow_label
         return (
             struct.pack(
@@ -53,6 +54,7 @@ class IPv6Header:
 
     @classmethod
     def parse(cls, data: bytes) -> "IPv6Header":
+        """Parse the fixed header at ``offset``; raises ValueError if truncated or not v6."""
         if len(data) < IPV6_HEADER_LEN:
             raise ValueError(f"short IPv6 header: {len(data)} bytes")
         word0, payload_length, next_header, hop_limit = struct.unpack_from(">IHBB", data)

@@ -9,6 +9,7 @@ from .packet import Packet
 
 @dataclass
 class DevStats:
+    """Per-device packet/byte counters (the ``ip -s link`` view)."""
     tx_packets: int = 0
     tx_bytes: int = 0
     rx_packets: int = 0
@@ -35,6 +36,7 @@ class NetDev:
     tx_buffer: list[Packet] = field(default_factory=list)
 
     def transmit(self, pkt: Packet) -> None:
+        """Egress entry point: account, then qdisc or wire."""
         self.stats.tx_packets += 1
         self.stats.tx_bytes += len(pkt)
         if self.qdisc is not None:
@@ -49,6 +51,26 @@ class NetDev:
         else:
             self.tx_buffer.append(pkt)
 
+    def transmit_burst(self, pkts: list[Packet]) -> None:
+        """Batch egress: same per-packet accounting, one wire handoff.
+
+        A qdisc still sees packets one at a time (disciplines reorder and
+        drop individually); an attached link takes the whole burst so it
+        can coalesce delivery into one scheduler event.
+        """
+        stats = self.stats
+        for pkt in pkts:
+            stats.tx_packets += 1
+            stats.tx_bytes += len(pkt)
+        if self.qdisc is not None:
+            for pkt in pkts:
+                self.qdisc.enqueue(pkt, self)
+            return
+        if self.link_endpoint is not None:
+            self.link_endpoint.send_burst(pkts)
+        else:
+            self.tx_buffer.extend(pkts)
+
     def receive(self, pkt: Packet) -> None:
         """Called by the link when a packet arrives at this device."""
         self.stats.rx_packets += 1
@@ -56,6 +78,22 @@ class NetDev:
         pkt.input_dev = self.name
         if self.node is not None:
             self.node.receive(pkt, self)
+
+    def process_burst(self, pkts: list[Packet]) -> None:
+        """Batch ingress (the NAPI-poll analogue of :meth:`receive`).
+
+        Called by burst-mode links with a whole delivered batch; stats
+        and ``input_dev`` stamping match N ``receive()`` calls, and the
+        node continues on its burst fast path.
+        """
+        stats = self.stats
+        name = self.name
+        for pkt in pkts:
+            stats.rx_packets += 1
+            stats.rx_bytes += len(pkt)
+            pkt.input_dev = name
+        if self.node is not None:
+            self.node.receive_burst(pkts, self)
 
     def __str__(self) -> str:
         owner = getattr(self.node, "name", "?")

@@ -20,6 +20,7 @@ decision (re-circulation), with a budget against misconfiguration loops.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,13 +32,14 @@ from .lwt_bpf import BpfLwt
 from .netdev import NetDev
 from .packet import Packet, make_icmpv6_packet
 from .seg6 import Seg6Encap
-from .seg6local import Disposition, Seg6LocalAction
+from .seg6local import _FORWARD, Disposition, Seg6LocalAction
 
 _RECIRCULATION_BUDGET = 8
 
 
 @dataclass
 class NodeCounters:
+    """Per-node datapath counters (the ``ip -s`` / nstat view)."""
     rx: int = 0
     tx: int = 0
     forwarded: int = 0
@@ -56,6 +58,31 @@ class Listener:
     callback: Callable[[Packet, "Node"], None]
     proto: int
     port: int | None = None
+
+
+class FlowTable:
+    """A small LRU memoising per-destination route resolution.
+
+    The burst fast path's equivalent of a kernel flow cache: the first
+    packet of a flow pays the longest-prefix-match walk (and, through the
+    route's encap, the seg6local action resolution); subsequent packets
+    of the burst hit here.  Entries pin the owning
+    :class:`~repro.net.fib.FibTable` generation at resolution time, so
+    any route add/remove invalidates them on the next access.
+    """
+
+    def __init__(self, capacity: int = 32768):
+        self.capacity = capacity
+        self.entries: "OrderedDict[tuple[int, bytes], tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        """Drop every memoised resolution."""
+        self.entries.clear()
 
 
 class Node:
@@ -78,9 +105,15 @@ class Node:
         self.cpu = None  # optional repro.sim.cpu.CpuQueue for DES experiments
         self.log_messages: list[str] = []
         self.answer_echo = True
+        self.flow_table = FlowTable()  # burst fast path route memo
+        # Per-device egress accumulator (keyed by device name), active only
+        # while a burst is being dispatched; flushed through
+        # NetDev.transmit_burst at burst end.
+        self._egress_batch: dict[str, list[Packet]] | None = None
 
     # -- configuration ------------------------------------------------------
     def add_device(self, name: str) -> NetDev:
+        """Create and attach a named device (``ip link add``)."""
         if name in self.devices:
             raise ValueError(f"{self.name}: device {name!r} already exists")
         dev = NetDev(name=name, node=self)
@@ -88,22 +121,26 @@ class Node:
         return dev
 
     def add_address(self, addr: bytes | str) -> None:
+        """Assign a local address and install its /128 local route."""
         addr = as_addr(addr)
         if addr not in self.addresses:
             self.addresses.append(addr)
         self.table().add(Route(prefix=addr, prefixlen=128, local=True))
 
     def primary_address(self) -> bytes:
+        """The first assigned address (used as tunnel/ICMP source)."""
         if not self.addresses:
             return bytes(16)
         return self.addresses[0]
 
     def table(self, table_id: int = MAIN_TABLE) -> FibTable:
+        """The routing table for ``table_id``, created on first use."""
         if table_id not in self.tables:
             self.tables[table_id] = FibTable(table_id)
         return self.tables[table_id]
 
     def main_table(self) -> FibTable:
+        """The main routing table (254, as in Linux)."""
         return self.tables[MAIN_TABLE]
 
     def add_route(
@@ -142,11 +179,13 @@ class Node:
         proto: int = PROTO_UDP,
         port: int | None = None,
     ) -> Listener:
+        """Attach a 'socket': ``callback(pkt, node)`` on matching local delivery."""
         listener = Listener(callback, proto, port)
         self.listeners.append(listener)
         return listener
 
     def log(self, message: str) -> None:
+        """Append to the node's kernel-log-like message buffer."""
         self.log_messages.append(message)
 
     # -- datapath entry points ---------------------------------------------------
@@ -163,6 +202,84 @@ class Node:
         """Transmit a locally originated packet."""
         self._dispatch(pkt, decrement=False)
 
+    # -- burst fast path ---------------------------------------------------------
+    def receive_burst(self, pkts: list[Packet], dev: NetDev | None = None) -> None:
+        """Batch variant of :meth:`receive` (the NAPI-poll analogue).
+
+        Per-packet semantics are identical to N ``receive()`` calls in
+        order; the burst flag lets the datapath amortise eBPF context
+        assembly (compiled handlers), route lookups (the flow table) and
+        SRH parsing across the batch.  The CPU-queue path keeps
+        per-packet submission — the cost model charges per packet anyway.
+        """
+        if self.cpu is not None:
+            for pkt in pkts:
+                self.receive(pkt, dev)
+            return
+        clock = self.clock_ns
+        counters = self.counters
+        dispatch = self._dispatch
+        outer = self._egress_batch
+        if outer is None:
+            self._egress_batch = {}
+        try:
+            for pkt in pkts:
+                pkt.rx_tstamp_ns = clock()
+                counters.rx += 1
+                if len(pkt.data) < IPV6_HEADER_LEN:
+                    counters.dropped += 1
+                    continue
+                dispatch(pkt, True, None, None, True)
+        finally:
+            if outer is None:
+                self._flush_egress()
+
+    def send_burst(self, pkts: list[Packet]) -> None:
+        """Batch variant of :meth:`send` for burst-mode traffic generators."""
+        dispatch = self._dispatch
+        outer = self._egress_batch
+        if outer is None:
+            self._egress_batch = {}
+        try:
+            for pkt in pkts:
+                dispatch(pkt, False, None, None, True)
+        finally:
+            if outer is None:
+                self._flush_egress()
+
+    def _flush_egress(self) -> None:
+        """Hand each device its accumulated burst (order preserved per device)."""
+        batch = self._egress_batch
+        self._egress_batch = None
+        if batch:
+            for dev_name, out in batch.items():
+                self.devices[dev_name].transmit_burst(out)
+
+    def _route_fast(self, table_id: int, dst: bytes) -> "Route | None":
+        """Flow-table-memoised route lookup (burst fast path only).
+
+        Misses fall through to the FIB's longest-prefix match; hits are
+        revalidated against the table generation so route changes take
+        effect exactly as in the scalar path.
+        """
+        table = self.tables.get(table_id)
+        if table is None:
+            table = self.table(table_id)
+        flow_table = self.flow_table
+        entries = flow_table.entries
+        key = (table_id, dst)
+        hit = entries.get(key)
+        if hit is not None and hit[1] == table.generation:
+            flow_table.hits += 1
+            entries.move_to_end(key)
+            return hit[0]
+        flow_table.misses += 1
+        route = table.lookup(dst)
+        entries[key] = (route, table.generation)
+        if len(entries) > flow_table.capacity:
+            entries.popitem(last=False)
+        return route
+
     # -- internals --------------------------------------------------------------
     def _input(self, pkt: Packet) -> None:
         if len(pkt.data) < IPV6_HEADER_LEN:
@@ -176,21 +293,49 @@ class Node:
         decrement: bool,
         table_id: int | None = None,
         nh6: bytes | None = None,
+        burst: bool = False,
     ) -> None:
-        """Route the packet and apply tunnels until it leaves or dies."""
+        """Route the packet and apply tunnels until it leaves or dies.
+
+        ``burst`` selects the fast variants of each stage — memoised
+        route lookups, compiled-handler eBPF invocation, lazy ECMP
+        hashing — which are observably identical to the scalar stages
+        (the burst differential tests drive both and compare).
+        """
         decremented = False
         for _ in range(_RECIRCULATION_BUDGET):
             lookup_dst = nh6 if nh6 is not None else pkt.dst
-            route = self.table(table_id or MAIN_TABLE).lookup(lookup_dst)
+            if burst:
+                route = self._route_fast(table_id or MAIN_TABLE, lookup_dst)
+            else:
+                route = self.table(table_id or MAIN_TABLE).lookup(lookup_dst)
             if route is None:
                 self.counters.no_route += 1
                 self.counters.dropped += 1
                 return
 
             encap = route.encap
+            if burst and encap is None and not route.local:
+                # Burst shortcut for the plain-forward iteration: identical
+                # to falling through every stage below with a None encap.
+                if decrement and not decremented:
+                    decremented = True
+                    if pkt.decrement_hop_limit() == 0:
+                        self.counters.hop_limit_exceeded += 1
+                        self._send_time_exceeded(pkt)
+                        return
+                    self.counters.forwarded += 1
+                self._transmit(pkt, route, nh6, lazy_hash=True)
+                return
+
             if isinstance(encap, Seg6LocalAction):
                 self.counters.seg6local_processed += 1
-                disposition = encap.process(pkt, self)
+                disposition = (
+                    encap.process_fast(pkt, self) if burst else encap.process(pkt, self)
+                )
+                if disposition is _FORWARD:
+                    table_id = nh6 = None
+                    continue
                 outcome = self._apply_disposition(disposition, pkt)
                 if outcome is None:
                     return
@@ -198,7 +343,7 @@ class Node:
                 continue
 
             if isinstance(encap, BpfLwt) and encap.prog_in is not None and not decremented:
-                disposition = encap.run_hook("lwt_in", pkt, self)
+                disposition = encap.run_hook("lwt_in", pkt, self, fast=burst)
                 outcome = self._apply_disposition(disposition, pkt)
                 if outcome is None:
                     return
@@ -226,7 +371,7 @@ class Node:
             if isinstance(encap, BpfLwt) and encap.has_output_stage():
                 old_dst = pkt.dst
                 for hook in ("lwt_out", "lwt_xmit"):
-                    disposition = encap.run_hook(hook, pkt, self)
+                    disposition = encap.run_hook(hook, pkt, self, fast=burst)
                     outcome = self._apply_disposition(disposition, pkt)
                     if outcome is None:
                         return
@@ -234,7 +379,7 @@ class Node:
                 if table_id is not None or nh6 is not None or pkt.dst != old_dst:
                     continue
 
-            self._transmit(pkt, route, nh6)
+            self._transmit(pkt, route, nh6, lazy_hash=burst)
             return
         self.log("re-circulation budget exceeded; dropping")
         self.counters.dropped += 1
@@ -252,14 +397,43 @@ class Node:
             return None
         return disposition.table_id, disposition.nh6
 
-    def _transmit(self, pkt: Packet, route: Route, nh6: bytes | None) -> None:
-        nexthop = route.select_nexthop(pkt.flow_hash())
+    def _transmit(
+        self, pkt: Packet, route: Route, nh6: bytes | None, lazy_hash: bool = False
+    ) -> None:
+        # The burst path skips the 5-tuple hash when the route has a single
+        # nexthop — ECMP selection is the hash's only consumer, so the
+        # outcome is identical and a burst saves one L4 walk per packet.
+        nexthops = route.nexthops
+        if lazy_hash and len(nexthops) == 1:
+            nexthop = nexthops[0]
+        else:
+            nexthop = route.select_nexthop(pkt.flow_hash())
         if nexthop is None or nexthop.dev not in self.devices:
             self.counters.dropped += 1
             return
         pkt.trace.append(self.name)
         self.counters.tx += 1
-        self.devices[nexthop.dev].transmit(pkt)
+        dev = self.devices[nexthop.dev]
+        batch = self._egress_batch
+        if lazy_hash:
+            # Burst egress is accumulated per device and flushed once at
+            # burst end, so links see whole batches; per-device packet
+            # order matches the scalar path exactly.
+            if batch is not None:
+                out = batch.get(dev.name)
+                if out is None:
+                    batch[dev.name] = out = []
+                out.append(pkt)
+                return
+        elif batch is not None:
+            # A scalar transmission while a burst is active — a locally
+            # generated ICMP error, echo reply or daemon datagram.  Flush
+            # this device's parked burst first so the wire order stays
+            # exactly what N scalar receives would have produced.
+            out = batch.pop(dev.name, None)
+            if out:
+                dev.transmit_burst(out)
+        dev.transmit(pkt)
 
     # -- local delivery -------------------------------------------------------------
     def _deliver_local(self, pkt: Packet) -> None:

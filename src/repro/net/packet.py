@@ -71,6 +71,7 @@ class Packet:
         return len(self.data)
 
     def copy(self) -> "Packet":
+        """Deep copy: fresh buffer and metadata, shared nothing."""
         clone = Packet(bytes(self.data))
         clone.rx_tstamp_ns = self.rx_tstamp_ns
         clone.mark = self.mark
@@ -83,31 +84,39 @@ class Packet:
 
     # -- parsing ----------------------------------------------------------
     def ipv6(self) -> IPv6Header:
+        """Parse and return the outer IPv6 header."""
         return IPv6Header.parse(self.data)
 
     @property
     def dst(self) -> bytes:
+        """Destination address of the outermost header (16 bytes)."""
         return bytes(self.data[24:40])
 
     @property
     def src(self) -> bytes:
+        """Source address of the outermost header (16 bytes)."""
         return bytes(self.data[8:24])
 
     @property
     def next_header(self) -> int:
+        """The outer header's Next Header protocol number."""
         return self.data[6]
 
     @property
     def hop_limit(self) -> int:
+        """The outer header's remaining hop limit."""
         return self.data[7]
 
     def set_dst(self, addr: bytes) -> None:
+        """Rewrite the outer destination address in place."""
         self.data[24:40] = as_addr(addr)
 
     def set_src(self, addr: bytes) -> None:
+        """Rewrite the outer source address in place."""
         self.data[8:24] = as_addr(addr)
 
     def decrement_hop_limit(self) -> int:
+        """Decrement the hop limit (floored at 0) and return the new value."""
         self.data[7] = max(0, self.data[7] - 1)
         return self.data[7]
 
@@ -215,6 +224,7 @@ def make_udp_packet(
     hop_limit: int = 64,
     flow_label: int = 0,
 ) -> Packet:
+    """A plain IPv6/UDP packet (the §4.1 pktgen workload unit)."""
     src, dst = as_addr(src), as_addr(dst)
     datagram = build_udp(src, dst, src_port, dst_port, payload)
     header = IPv6Header(
@@ -265,6 +275,7 @@ def make_tcp_packet(
     hop_limit: int = 64,
     flow_label: int = 0,
 ) -> Packet:
+    """An IPv6/TCP packet around a prepared TcpHeader (§4.2 flows)."""
     src, dst = as_addr(src), as_addr(dst)
     segment = build_tcp(src, dst, header, payload)
     ip = IPv6Header(
@@ -280,6 +291,7 @@ def make_icmpv6_packet(
     message: Icmpv6Message,
     hop_limit: int = 64,
 ) -> Packet:
+    """An IPv6/ICMPv6 packet with a valid checksum (§4.3 probes/errors)."""
     src, dst = as_addr(src), as_addr(dst)
     raw = build_icmpv6(src, dst, message)
     ip = IPv6Header(src=src, dst=dst, next_header=PROTO_ICMPV6, hop_limit=hop_limit)

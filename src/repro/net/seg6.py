@@ -101,6 +101,7 @@ class Seg6Encap:
             raise ValueError("seg6 encap needs at least one segment")
 
     def apply(self, data: bytes, node_src: bytes) -> bytes:
+        """Encapsulate/insert per ``mode``; returns the new packet bytes (§2 transit behaviours)."""
         header = IPv6Header.parse(data)
         if self.mode == SEG6_MODE_INLINE:
             path = list(self.segments) + [header.dst]

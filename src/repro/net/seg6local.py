@@ -28,10 +28,12 @@ from dataclasses import dataclass, field
 
 from ..ebpf import BPF_DROP, BPF_OK, BPF_REDIRECT, Program
 from ..ebpf.errors import BpfError, VmFault
+from ..ebpf.jit import compiled_handler
 from .addr import as_addr
+from .ipv6 import IPV6_HEADER_LEN, PROTO_ROUTING
 from .packet import Packet
 from .seg6 import decap_outer, push_outer_encap, push_srh_inline
-from .srh import SRH, make_srh, validate_srh_bytes
+from .srh import SRH, SRH_FIXED_LEN, make_srh, validate_srh_bytes
 
 # Action numbers from include/uapi/linux/seg6_local.h; these are also the
 # values bpf_lwt_seg6_action() accepts.
@@ -55,11 +57,19 @@ class Disposition:
 
     @classmethod
     def forward(cls, table_id=None, nh6=None) -> "Disposition":
+        """Continue routing, optionally in ``table_id`` or toward ``nh6``."""
         return cls("forward", table_id=table_id, nh6=nh6)
 
     @classmethod
     def drop(cls, reason: str) -> "Disposition":
+        """Consume the packet; ``reason`` lands in logs/tests."""
         return cls("drop", reason=reason)
+
+
+# Shared instance for the overwhelmingly common verdict.  Dispositions are
+# read-only to the datapath, so the hot paths return this instead of
+# allocating a fresh "plain forward" per packet.
+_FORWARD = Disposition("forward")
 
 
 class Seg6LocalAction:
@@ -69,6 +79,7 @@ class Seg6LocalAction:
     needs_srh = True
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Validate the SRH, advance to the next segment, forward (plain End, §2)."""
         srh_info = self._require_srh(pkt)
         if srh_info is None:
             return Disposition.drop("no SRH")
@@ -77,6 +88,35 @@ class Seg6LocalAction:
             return Disposition.drop("segments_left == 0")
         self._advance(pkt, srh, offset)
         return Disposition.forward()
+
+    def process_fast(self, pkt: Packet, node) -> Disposition:
+        """Burst-mode :meth:`process`: the same advance via the SRH memo.
+
+        Observably identical to the scalar path — the burst differential
+        tests enforce this.  Subclasses whose :meth:`process` diverges
+        from plain End semantics either override this too (``End.X``,
+        ``End.T``, ``End.BPF``) or pin it back to their scalar
+        :meth:`process` (the decap/policy actions).
+        """
+        verdict = _advance_verdict(pkt.data)
+        if verdict is _V_NO_SRH:
+            return Disposition.drop("no SRH")
+        if verdict is _V_SL_ZERO:
+            return Disposition.drop("segments_left == 0")
+        new_sl, new_active = verdict
+        pkt.data[IPV6_HEADER_LEN + 3] = new_sl
+        pkt.data[24:40] = new_active
+        return _FORWARD
+
+    def process_burst(self, pkts: list[Packet], node) -> list[Disposition]:
+        """Process a packet batch; one disposition per packet, in order.
+
+        Per-packet semantics are exactly those of :meth:`process`; the
+        batch form exists so the datapath (and direct users) can amortise
+        per-invocation setup across the burst.
+        """
+        process = self.process_fast
+        return [process(pkt, node) for pkt in pkts]
 
     # -- shared machinery ---------------------------------------------------
     @staticmethod
@@ -110,7 +150,15 @@ class EndX(Seg6LocalAction):
         self.nh6 = as_addr(self.nh6)
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then pin the layer-3 nexthop (End.X, §2)."""
         base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(nh6=self.nh6)
+
+    def process_fast(self, pkt: Packet, node) -> Disposition:
+        """Burst-mode :meth:`process`: memoised advance, same nexthop pinning."""
+        base = super().process_fast(pkt, node)
         if base.action != "forward":
             return base
         return Disposition.forward(nh6=self.nh6)
@@ -124,7 +172,15 @@ class EndT(Seg6LocalAction):
     kind = "End.T"
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then route in the configured table (End.T, §2)."""
         base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(table_id=self.table_id)
+
+    def process_fast(self, pkt: Packet, node) -> Disposition:
+        """Burst-mode :meth:`process`: memoised advance, same table redirect."""
+        base = super().process_fast(pkt, node)
         if base.action != "forward":
             return base
         return Disposition.forward(table_id=self.table_id)
@@ -138,6 +194,7 @@ class EndDT6(Seg6LocalAction):
     kind = "End.DT6"
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Decapsulate at the last segment and route the inner packet in a table (§2)."""
         srh_info = pkt.srh()
         if srh_info is not None and srh_info[0].segments_left != 0:
             return Disposition.drop("End.DT6 requires segments_left == 0")
@@ -146,6 +203,9 @@ class EndDT6(Seg6LocalAction):
         except ValueError as exc:
             return Disposition.drop(f"decap failed: {exc}")
         return Disposition.forward(table_id=self.table_id)
+
+    # Decap semantics differ from plain End; keep the scalar path in bursts.
+    process_fast = process
 
 
 @dataclass
@@ -159,6 +219,7 @@ class EndDX6(Seg6LocalAction):
         self.nh6 = as_addr(self.nh6)
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Decapsulate at the last segment and pin the inner packet's nexthop (§2)."""
         srh_info = pkt.srh()
         if srh_info is not None and srh_info[0].segments_left != 0:
             return Disposition.drop("End.DX6 requires segments_left == 0")
@@ -167,6 +228,9 @@ class EndDX6(Seg6LocalAction):
         except ValueError as exc:
             return Disposition.drop(f"decap failed: {exc}")
         return Disposition.forward(nh6=self.nh6)
+
+    # Decap semantics differ from plain End; keep the scalar path in bursts.
+    process_fast = process
 
 
 @dataclass
@@ -180,6 +244,7 @@ class EndB6(Seg6LocalAction):
         self.segments = [as_addr(seg) for seg in self.segments]
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Insert an additional SRH carrying the policy's segments (End.B6, §2)."""
         header_dst = pkt.dst
         path = list(self.segments) + [header_dst]
         from .ipv6 import IPv6Header
@@ -188,6 +253,9 @@ class EndB6(Seg6LocalAction):
         srh = make_srh(path, next_header=inner_nh)
         pkt.data = bytearray(push_srh_inline(bytes(pkt.data), srh))
         return Disposition.forward()
+
+    # Policy insertion does not advance; keep the scalar path in bursts.
+    process_fast = process
 
 
 @dataclass
@@ -204,6 +272,7 @@ class EndB6Encaps(Seg6LocalAction):
             self.source = as_addr(self.source)
 
     def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then encapsulate with an outer header and new SRH (§2)."""
         base = super().process(pkt, node)
         if base.action != "forward":
             return base
@@ -214,6 +283,58 @@ class EndB6Encaps(Seg6LocalAction):
         pkt.data = bytearray(push_outer_encap(bytes(pkt.data), outer_src, srh))
         return Disposition.forward()
 
+    # Advance-plus-encap chains through super().process(); keep it scalar.
+    process_fast = process
+
+
+# --- burst fast path: memoised SRv6 "End" processing -------------------------
+#
+# Every advancing endpoint action starts with the same prologue: parse the
+# SRH, check segments_left, decrement it and rewrite the IPv6 destination to
+# the new active segment.  For a burst the SRH bytes repeat across packets
+# of a flow, so the *verdict* of that prologue — a failure sentinel, or
+# (new segments_left, new active segment) — is memoised on the raw SRH
+# slice.  Keying on the exact bytes makes the memo trivially faithful: two
+# packets with identical SRH bytes get identical verdicts from SRH.parse by
+# definition.  The sentinels let each action class keep its own scalar drop
+# reason ("no SRH" vs "End.BPF: no SRH").
+
+_V_NO_SRH = ("no_srh",)
+_V_SL_ZERO = ("sl_zero",)
+
+_ADVANCE_MEMO: dict[bytes, tuple] = {}
+_ADVANCE_MEMO_CAP = 32768  # ~72 B/key for a 2-segment SRH: a few MB at worst
+
+_DROP_NO_SRH = "End.BPF: no SRH"
+_DROP_SL_ZERO = "End.BPF: segments_left == 0"
+
+
+def _advance_verdict(data: bytearray) -> tuple:
+    """Memoised End prologue: a sentinel or (new_sl, new_active_segment)."""
+    if data[6] != PROTO_ROUTING or len(data) < IPV6_HEADER_LEN + SRH_FIXED_LEN:
+        return _V_NO_SRH
+    total = (data[IPV6_HEADER_LEN + 1] + 1) * 8
+    key = bytes(data[IPV6_HEADER_LEN : IPV6_HEADER_LEN + total])
+    verdict = _ADVANCE_MEMO.get(key)
+    if verdict is None:
+        if len(key) < total:
+            verdict = _V_NO_SRH  # SRH length exceeds the packet
+        else:
+            try:
+                srh = SRH.parse(key, 0)
+            except ValueError:
+                verdict = _V_NO_SRH
+            else:
+                if srh.segments_left == 0:
+                    verdict = _V_SL_ZERO
+                else:
+                    new_sl = srh.segments_left - 1
+                    verdict = (new_sl, srh.segments[new_sl])
+        if len(_ADVANCE_MEMO) >= _ADVANCE_MEMO_CAP:
+            _ADVANCE_MEMO.clear()
+        _ADVANCE_MEMO[key] = verdict
+    return verdict
+
 
 @dataclass
 class EndBPF(Seg6LocalAction):
@@ -223,18 +344,53 @@ class EndBPF(Seg6LocalAction):
     kind = "End.BPF"
     stats: dict = field(default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0})
 
+    def __post_init__(self) -> None:
+        self._handler = None  # lazily bound CompiledHandler (burst fast path)
+
     def process(self, pkt: Packet, node) -> Disposition:
+        """Advance the SRH, then run the attached program (§3.1 semantics)."""
         srh_info = pkt.srh()
         if srh_info is None:
-            return Disposition.drop("End.BPF: no SRH")
+            return Disposition.drop(_DROP_NO_SRH)
         srh, offset = srh_info
         if srh.segments_left == 0:
-            return Disposition.drop("End.BPF: segments_left == 0")
+            return Disposition.drop(_DROP_SL_ZERO)
         self._advance(pkt, srh, offset)
 
         hctx = self.program.make_context(
             bytes(pkt.data), clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
         )
+        return self._run_and_finish(pkt, node, hctx)
+
+    def process_fast(self, pkt: Packet, node) -> Disposition:
+        """Burst-mode :meth:`process`: memoised prologue + reused context.
+
+        Observably identical to the scalar path; the prologue verdict is
+        memoised on the SRH bytes and the program runs in the cached
+        per-(program, attach point) :class:`~repro.ebpf.jit.CompiledHandler`
+        instead of a freshly assembled guest address space.
+        """
+        verdict = _advance_verdict(pkt.data)
+        if verdict is _V_NO_SRH:
+            return Disposition.drop(_DROP_NO_SRH)
+        if verdict is _V_SL_ZERO:
+            return Disposition.drop(_DROP_SL_ZERO)
+        new_sl, new_active = verdict
+        pkt.data[IPV6_HEADER_LEN + 3] = new_sl
+        pkt.data[24:40] = new_active
+
+        handler = self._handler
+        if handler is None or handler.program is not self.program:
+            handler = compiled_handler(self.program, "seg6local")
+            self._handler = handler
+        hctx = handler.arm(
+            pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
+        )
+        return self._run_and_finish(pkt, node, hctx)
+
+    def _run_and_finish(self, pkt: Packet, node, hctx) -> Disposition:
+        """Run the program and apply §3.1 return-code semantics (shared by
+        the scalar and burst paths, so they cannot drift apart)."""
         hctx.packet = pkt
         hctx.node = node
         hctx.hook = "seg6local"
@@ -245,10 +401,12 @@ class EndBPF(Seg6LocalAction):
             node.log(f"End.BPF program fault: {exc}")
             return Disposition.drop(f"program fault: {exc}")
 
-        # Propagate helper-made modifications back into the packet.
-        new_bytes = hctx.skb.packet_bytes()
-        if new_bytes != bytes(pkt.data):
-            pkt.data = bytearray(new_bytes)
+        # Propagate helper-made modifications back into the packet.  The
+        # guest packet region and pkt.data are both bytearrays, so the
+        # unchanged-packet check is a straight C-level compare, no copies.
+        region_data = hctx.skb.packet_region.data
+        if region_data != pkt.data:
+            pkt.data = bytearray(region_data)
         pkt.mark = hctx.skb.mark
 
         if hctx.metadata.get("srh_modified") and ret != BPF_DROP:
@@ -264,7 +422,7 @@ class EndBPF(Seg6LocalAction):
 
         if ret == BPF_OK:
             self.stats["ok"] += 1
-            return Disposition.forward()
+            return _FORWARD
         if ret == BPF_REDIRECT:
             self.stats["redirect"] += 1
             return Disposition.forward(

@@ -63,6 +63,7 @@ class Tlv:
     value: bytes = b""
 
     def pack(self) -> bytes:
+        """Serialise: one byte for Pad1, type/len/value otherwise (RFC 8754 §2.1)."""
         if self.tlv_type == TLV_PAD1:
             return b"\x00"
         if len(self.value) > 255:
@@ -71,6 +72,7 @@ class Tlv:
 
     @property
     def wire_len(self) -> int:
+        """On-wire size in bytes."""
         return 1 if self.tlv_type == TLV_PAD1 else 2 + len(self.value)
 
 
@@ -135,13 +137,16 @@ class SRH:
     # -- wire format ---------------------------------------------------------
     @property
     def wire_len(self) -> int:
+        """On-wire size: fixed header + segments + TLV area."""
         return SRH_FIXED_LEN + SEGMENT_LEN * len(self.segments) + len(self.tlv_bytes)
 
     @property
     def hdr_ext_len(self) -> int:
+        """The Hdr Ext Len field: 8-octet units beyond the first 8 bytes."""
         return self.wire_len // 8 - 1
 
     def pack(self) -> bytes:
+        """Serialise to wire bytes (RFC 8754 §2)."""
         head = struct.pack(
             ">BBBBBBH",
             self.next_header,
@@ -156,6 +161,7 @@ class SRH:
 
     @classmethod
     def parse(cls, data: bytes, offset: int = 0) -> "SRH":
+        """Parse and validate an SRH at ``offset``; raises ValueError when malformed."""
         if len(data) - offset < SRH_FIXED_LEN:
             raise ValueError("truncated SRH")
         (
@@ -193,14 +199,17 @@ class SRH:
     # -- SRv6 semantics ----------------------------------------------------------
     @property
     def current_segment(self) -> bytes:
+        """The active segment (``segments[segments_left]``)."""
         return self.segments[self.segments_left]
 
     @property
     def first_segment(self) -> bytes:
+        """The first segment of the path (highest index)."""
         return self.segments[self.last_entry]
 
     @property
     def final_segment(self) -> bytes:
+        """The last segment of the path (index 0)."""
         return self.segments[0]
 
     def advance(self) -> bytes:
@@ -213,9 +222,11 @@ class SRH:
     # -- TLV convenience -------------------------------------------------------
     @property
     def tlvs(self) -> list[Tlv]:
+        """The TLV area parsed into Tlv objects."""
         return parse_tlvs(self.tlv_bytes)
 
     def find_tlv(self, tlv_type: int) -> Tlv | None:
+        """First TLV of ``tlv_type``, or None."""
         for tlv in self.tlvs:
             if tlv.tlv_type == tlv_type:
                 return tlv

@@ -24,6 +24,7 @@ FLAG_ACK = 0x10
 
 @dataclass
 class TcpHeader:
+    """TCP header fields (RFC 793 §3.1); options unsupported, data offset fixed."""
     src_port: int
     dst_port: int
     seq: int
@@ -35,6 +36,7 @@ class TcpHeader:
     data_offset: int = 5  # 32-bit words; we emit no options
 
     def pack(self) -> bytes:
+        """Serialise with the checksum as currently stored."""
         return struct.pack(
             ">HHIIBBHHH",
             self.src_port,
@@ -50,6 +52,7 @@ class TcpHeader:
 
     @classmethod
     def parse(cls, data: bytes, offset: int = 0) -> "TcpHeader":
+        """Parse a header at ``offset``; raises ValueError if truncated."""
         if len(data) - offset < TCP_HEADER_LEN:
             raise ValueError("truncated TCP header")
         (
@@ -66,6 +69,7 @@ class TcpHeader:
         return cls(src, dst, seq, ack, flags, window, csum, urgent, off_byte >> 4)
 
     def flag_names(self) -> str:
+        """Human-readable flag list, e.g. ['SYN', 'ACK'] (debugging)."""
         names = []
         for bit, name in (
             (FLAG_SYN, "SYN"),

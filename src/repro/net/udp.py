@@ -13,18 +13,21 @@ UDP_HEADER_LEN = 8
 
 @dataclass
 class UdpHeader:
+    """UDP header fields (RFC 768)."""
     src_port: int
     dst_port: int
     length: int = 0
     checksum: int = 0
 
     def pack(self) -> bytes:
+        """Serialise with the checksum as currently stored."""
         return struct.pack(
             ">HHHH", self.src_port, self.dst_port, self.length, self.checksum
         )
 
     @classmethod
     def parse(cls, data: bytes, offset: int = 0) -> "UdpHeader":
+        """Parse a header at ``offset``; raises ValueError if truncated."""
         if len(data) - offset < UDP_HEADER_LEN:
             raise ValueError("truncated UDP header")
         src, dst, length, csum = struct.unpack_from(">HHHH", data, offset)

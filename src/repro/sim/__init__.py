@@ -16,7 +16,7 @@ from .topology import (
     build_setup1,
     build_setup2,
 )
-from .trafgen import Srv6UdpFlood, UdpFlow, batch_srv6_udp, batch_udp
+from .trafgen import Srv6UdpFlood, UdpFlow, batch_srv6_udp, batch_srv6_udp_flows, batch_udp
 
 __all__ = [
     "CostModel",
@@ -42,6 +42,7 @@ __all__ = [
     "TcpSender",
     "UdpFlow",
     "batch_srv6_udp",
+    "batch_srv6_udp_flows",
     "batch_udp",
     "build_setup1",
     "build_setup2",

@@ -42,12 +42,14 @@ REPORT_SIZE = struct.calcsize(REPORT_FORMAT)
 
 @dataclass
 class DelaySample:
+    """One delay report: TX/RX timestamps and probe kind (§4.1)."""
     tx_timestamp_ns: int
     rx_timestamp_ns: int
     kind: int
 
     @property
     def delay_ns(self) -> int:
+        """One-way delay: RX minus TX timestamp."""
         return self.rx_timestamp_ns - self.tx_timestamp_ns
 
 
@@ -70,6 +72,7 @@ class DelayCollector:
         self.samples.append(DelaySample(tx, rx, kind))
 
     def mean_delay_ns(self) -> float:
+        """Mean one-way delay over all collected samples (0.0 when empty)."""
         if not self.samples:
             return 0.0
         return sum(s.delay_ns for s in self.samples) / len(self.samples)

@@ -57,9 +57,11 @@ class WrrHandle:
     state: ArrayMap
 
     def counters(self) -> tuple[int, int, int, int]:
+        """(credit0, credit1, packets0, packets1) from the WRR state map (§4.2)."""
         return wrr_state_counters(self.state)
 
     def set_weights(self, w0: int, w1: int) -> None:
+        """Rewrite the per-link weights in the config map at run time."""
         raw = bytearray(self.config.lookup((0).to_bytes(4, "little")))
         struct.pack_into("<II", raw, 32, w0, w1)
         self.config.update((0).to_bytes(4, "little"), bytes(raw))
@@ -128,6 +130,7 @@ class TwdDaemon:
 
     # -- probing -------------------------------------------------------------
     def start(self) -> None:
+        """Begin periodic two-way-delay probing on the scheduler (§4.2)."""
         self.scheduler.schedule(0, self._tick)
 
     def _tick(self) -> None:

@@ -63,6 +63,7 @@ class OampDaemon:
         self.relayed = 0
 
     def poll(self) -> int:
+        """Drain pending OAM events and answer each query (§4.3)."""
         count = 0
         for cpu in range(self.events.max_entries):
             for record in self.events.ring(cpu).drain():
@@ -84,6 +85,7 @@ class OampDaemon:
         self.node.send(reply)
 
     def start(self, scheduler: Scheduler, interval_ns: int = 1 * NS_PER_MS) -> None:
+        """Poll periodically inside a simulation."""
         def tick() -> None:
             self.poll()
             scheduler.schedule(interval_ns, tick)
@@ -146,6 +148,7 @@ class SrTraceroute:
 
     # -- driving -----------------------------------------------------------
     def start(self) -> None:
+        """Send the first probe; subsequent hops follow as answers arrive (§4.3)."""
         self._probe(1)
 
     def run(self, extra_ns: int = 0) -> list[HopResult]:

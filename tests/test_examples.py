@@ -49,6 +49,42 @@ def test_delay_monitoring_example_logic(capsys):
     assert "mean one-way delay: 3.0" in out
 
 
+def test_hybrid_access_runs(capsys):
+    """The hybrid-access example, with warmup/flow durations cut for CI.
+
+    The storyline must survive shortening: TCP over the uncompensated
+    bond collapses, delay compensation recovers most of the aggregate.
+    """
+    module = load("hybrid_access")
+    module.WARMUP_S = 1
+    module.DURATION_S = 2
+    module.main()
+    out = capsys.readouterr().out
+    assert "UDP over the bond" in out
+    assert "summary: disaster" in out
+    assert "compensating link" in out
+
+
+# Keep this in sync with the per-example tests above: the quickstart
+# commands in README.md point at these scripts, so every script must have
+# an executing smoke test here — docs can't rot silently.
+EXERCISED = {
+    "quickstart",
+    "ecmp_traceroute",
+    "service_chaining",
+    "delay_monitoring",
+    "hybrid_access",
+}
+
+
+def test_every_example_is_smoke_tested():
+    on_disk = {path.stem for path in EXAMPLES.glob("*.py")}
+    assert on_disk == EXERCISED, (
+        "examples/ changed: add an executing smoke test above and list the "
+        f"script here (disk: {sorted(on_disk)}, exercised: {sorted(EXERCISED)})"
+    )
+
+
 def test_all_examples_have_docstrings_and_main():
     for path in sorted(EXAMPLES.glob("*.py")):
         source = path.read_text()
