@@ -21,6 +21,8 @@ from repro.bench import (
     BATCH_SIZE,
     FIG2_VARIANTS,
     ResultRegistry,
+    amortisation_stats,
+    attach_amortisation_info,
     copy_batch,
     drive_batch,
     make_fig2_router,
@@ -51,9 +53,11 @@ def test_fig2_variant(benchmark, variant):
     forwarded = drive_batch(node, copy_batch(templates))
     assert forwarded == BATCH_SIZE, f"{variant}: packets were dropped"
 
+    baseline = amortisation_stats(node)
     benchmark.pedantic(drive_batch, setup=setup, rounds=8, warmup_rounds=2)
     REGISTRY.record(variant, benchmark.stats.stats.min)
     benchmark.extra_info["kpps"] = round(REGISTRY.results[variant].pps / 1e3, 1)
+    attach_amortisation_info(benchmark, node, since=baseline)
 
 
 def test_fig2_shape_and_report(benchmark):

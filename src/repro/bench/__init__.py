@@ -7,6 +7,8 @@ from .harness import (
     SINK_ADDR,
     BenchResult,
     ResultRegistry,
+    amortisation_stats,
+    attach_amortisation_info,
     copy_batch,
     drive_batch,
     make_fig2_router,
@@ -20,6 +22,8 @@ __all__ = [
     "FUNC_SEGMENT",
     "ResultRegistry",
     "SINK_ADDR",
+    "amortisation_stats",
+    "attach_amortisation_info",
     "copy_batch",
     "drive_batch",
     "make_fig2_router",

@@ -10,10 +10,10 @@ not absolute testbed numbers.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from ..ebpf import Program
+from ..ebpf.jit import handler_cache_stats
 from ..net import End, EndBPF, EndT, Node, Packet
 from ..progs import add_tlv_prog, end_prog, end_t_prog, tag_increment_prog
 from ..sim.trafgen import batch_srv6_udp, batch_udp
@@ -22,11 +22,6 @@ FUNC_SEGMENT = "fc00:e::100"
 SINK_PREFIX = "fc00:2::/64"
 SINK_ADDR = "fc00:2::2"
 BATCH_SIZE = 256
-
-# The --burst bench knob (see benchmarks/conftest.py) or REPRO_BURST=1 flips
-# every figure benchmark onto the burst-mode fast path; drive_batch() reads
-# it at call time so the knob also works for already-imported modules.
-BURST_MODE = os.environ.get("REPRO_BURST", "") not in ("", "0")
 
 
 def make_router() -> Node:
@@ -81,22 +76,9 @@ def make_fig2_router(variant: str) -> tuple[Node, list[Packet]]:
     return node, srv6
 
 
-def drive_batch(node: Node, packets: list[Packet], burst: bool | None = None) -> int:
-    """Push a batch through the datapath; returns forwarded count.
-
-    ``burst=None`` follows the module-wide :data:`BURST_MODE` knob;
-    ``True``/``False`` force the burst fast path or the scalar per-packet
-    path (the burst scaling bench drives both and compares).
-    """
-    if burst is None:
-        burst = BURST_MODE
-    dev = node.devices["eth0"]
-    if burst:
-        node.receive_burst(packets, dev)
-    else:
-        receive = node.receive
-        for pkt in packets:
-            receive(pkt, dev)
+def drive_batch(node: Node, packets: list[Packet]) -> int:
+    """Push a batch through the datapath; returns forwarded count."""
+    node.receive_batch(packets, node.devices["eth0"])
     out = node.devices["eth1"].tx_buffer
     forwarded = len(out)
     out.clear()
@@ -106,6 +88,50 @@ def drive_batch(node: Node, packets: list[Packet], burst: bool | None = None) ->
 def copy_batch(templates: list[Packet]) -> list[Packet]:
     """Fresh packet copies (the datapath mutates packets in place)."""
     return [Packet(bytes(p.data)) for p in templates]
+
+
+# flow_table_entries is a gauge (current occupancy); everything else in
+# amortisation_stats() is a monotonic counter and delta-able via ``since``.
+_AMORTISATION_GAUGES = ("flow_table_entries",)
+
+
+def amortisation_stats(node: Node, scheduler=None, since: dict | None = None) -> dict:
+    """Cache-effectiveness counters for benchmark reporting.
+
+    Reports what the datapath amortises per batch: route-resolution
+    memoisation (:class:`~repro.net.node.FlowTable` hits/misses),
+    compiled-handler reuse (the per-(program, attach point) eBPF
+    invocation cache), and — when a scheduler is involved — the heap
+    events saved by batch delivery.  The node and handler-cache counters
+    are cumulative; pass a previous snapshot as ``since`` to get per-run
+    deltas (gauges like ``flow_table_entries`` are never diffed).
+    Attach the result to benchmark JSON (``benchmark.extra_info``) so
+    amortisation regressions show up in recorded runs, not just
+    wall-clock.
+    """
+    stats = {
+        "flow_table_hits": node.flow_table.hits,
+        "flow_table_misses": node.flow_table.misses,
+        "flow_table_entries": len(node.flow_table),
+        **handler_cache_stats(),
+    }
+    if scheduler is not None:
+        stats["events_coalesced"] = scheduler.events_coalesced
+    if since is not None:
+        stats = {
+            key: value - since.get(key, 0) if key not in _AMORTISATION_GAUGES else value
+            for key, value in stats.items()
+        }
+    return stats
+
+
+def attach_amortisation_info(benchmark, node: Node, scheduler=None, since=None) -> dict:
+    """Record :func:`amortisation_stats` in a pytest-benchmark's JSON."""
+    stats = amortisation_stats(node, scheduler, since=since)
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is not None:
+        extra.update(stats)
+    return stats
 
 
 # --- cross-test result registry -----------------------------------------------------

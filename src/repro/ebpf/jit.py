@@ -85,6 +85,7 @@ class CompiledHandler:
         # handler's cached guest address space) for the process lifetime.
         self._program_ref = weakref.ref(program)
         self.attach_point = attach_point
+        self.cache_generation = _HANDLER_CACHE_GENERATION
         self._hctx: HelperContext | None = None
         self._snapshot = None
 
@@ -113,12 +114,17 @@ class CompiledHandler:
 _HANDLER_CACHE: "weakref.WeakKeyDictionary[object, dict[str, CompiledHandler]]" = (
     weakref.WeakKeyDictionary()
 )
+_HANDLER_CACHE_STATS = {"handler_hits": 0, "handler_misses": 0}
+# Bumped by clear_handler_cache(); handlers carry the generation they were
+# built under, so hot-path users may pin a handler on an instance attribute
+# and still notice a cache clear with one integer compare.
+_HANDLER_CACHE_GENERATION = 0
 
 
 def compiled_handler(program, attach_point: str) -> CompiledHandler:
-    """The burst fast path's handler cache, keyed by (program, attach point).
+    """The datapath's handler cache, keyed by (program, attach point).
 
-    A burst of N packets through the same hook pays the context-assembly
+    A batch of N packets through the same hook pays the context-assembly
     cost once instead of N times; distinct attach points get distinct
     handlers because a program may legitimately be attached to several
     hooks (and even several nodes) at once.
@@ -129,9 +135,32 @@ def compiled_handler(program, attach_point: str) -> CompiledHandler:
         _HANDLER_CACHE[program] = per_program
     handler = per_program.get(attach_point)
     if handler is None:
+        _HANDLER_CACHE_STATS["handler_misses"] += 1
         handler = CompiledHandler(program, attach_point)
         per_program[attach_point] = handler
+    else:
+        _HANDLER_CACHE_STATS["handler_hits"] += 1
     return handler
+
+
+def handler_cache_stats() -> dict:
+    """Cumulative handler-cache hits/misses (compiled-handler reuse)."""
+    return dict(_HANDLER_CACHE_STATS)
+
+
+def clear_handler_cache() -> None:
+    """Drop every cached handler and reset the hit/miss counters.
+
+    Bumps the cache generation so handlers pinned on instance attributes
+    (e.g. ``EndBPF``'s) are rebuilt too.  Benchmark baselines use this to
+    reconstruct the cost of assembling a fresh guest address space per
+    invocation.
+    """
+    global _HANDLER_CACHE_GENERATION
+    _HANDLER_CACHE_GENERATION += 1
+    _HANDLER_CACHE.clear()
+    _HANDLER_CACHE_STATS["handler_hits"] = 0
+    _HANDLER_CACHE_STATS["handler_misses"] = 0
 
 
 def _block_starts(slots) -> list[int]:

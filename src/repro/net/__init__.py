@@ -31,7 +31,7 @@ from .ipv6 import (
 )
 from .lwt_bpf import BpfLwt
 from .netdev import NetDev
-from .node import FlowTable, Node
+from .node import DispatchContext, FlowTable, Node
 from .packet import (
     Packet,
     make_icmpv6_packet,
@@ -53,6 +53,7 @@ from .seg6 import (
 from .seg6_helpers import LWT_HELPERS, SEG6LOCAL_HELPERS
 from .seg6local import (
     Disposition,
+    clear_advance_memo,
     End,
     EndB6,
     EndB6Encaps,
@@ -87,6 +88,7 @@ __all__ = [
     "BpfLwt",
     "DM_KIND_OWD",
     "DM_KIND_TWD",
+    "DispatchContext",
     "Disposition",
     "End",
     "EndB6",
@@ -126,6 +128,7 @@ __all__ = [
     "SRH",
     "Seg6Encap",
     "Seg6LocalAction",
+    "clear_advance_memo",
     "TLV_CONTROLLER",
     "TLV_DM",
     "TLV_HMAC",

@@ -38,13 +38,13 @@ class BpfLwt:
         """True when a program is attached to lwt_out or lwt_xmit."""
         return self.prog_out is not None or self.prog_xmit is not None
 
-    def run_hook(self, hook: str, pkt: Packet, node, fast: bool = False) -> Disposition:
+    def run_hook(self, hook: str, pkt: Packet, node) -> Disposition:
         """Execute the program bound to ``hook``; default is pass-through.
 
-        With ``fast=True`` (the burst fast path) the invocation context
-        comes from the per-(program, hook) compiled-handler cache instead
-        of being assembled from scratch — observably identical, but a
-        burst pays the setup cost once.
+        The invocation context comes from the per-(program, hook)
+        compiled-handler cache (:func:`repro.ebpf.jit.compiled_handler`),
+        so a batch of packets through the same hook pays the guest
+        address-space assembly once.
         """
         program = {
             "lwt_in": self.prog_in,
@@ -54,14 +54,9 @@ class BpfLwt:
         if program is None:
             return Disposition.forward()
 
-        if fast:
-            hctx = compiled_handler(program, hook).arm(
-                pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
-            )
-        else:
-            hctx = program.make_context(
-                bytes(pkt.data), clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
-            )
+        hctx = compiled_handler(program, hook).arm(
+            pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
+        )
         hctx.packet = pkt
         hctx.node = node
         hctx.hook = hook
@@ -70,7 +65,7 @@ class BpfLwt:
         except (VmFault, BpfError) as exc:
             self.stats["errors"] += 1
             node.log(f"BPF LWT program fault on {hook}: {exc}")
-            return Disposition.drop(f"program fault: {exc}")
+            return Disposition.drop(f"program fault: {exc}", bpf=True)
 
         region_data = hctx.skb.packet_region.data
         if region_data != pkt.data:
@@ -87,5 +82,8 @@ class BpfLwt:
                 nh6=hctx.metadata.get("redirect_nh6"),
             )
         self.stats["drop"] += 1
-        reason = "BPF_DROP" if ret == BPF_DROP else f"unknown BPF return {ret}"
-        return Disposition.drop(reason)
+        if ret == BPF_DROP:
+            return Disposition.drop("BPF_DROP", bpf=True)
+        # A malformed verdict is a datapath policy drop, not the program
+        # explicitly asking for one — it does not count as bpf_dropped.
+        return Disposition.drop(f"unknown BPF return {ret}")

@@ -25,6 +25,9 @@ class NetDev:
     packets enter the simulated wire; otherwise they accumulate in
     ``tx_buffer`` (which is what the direct-datapath microbenchmarks and
     unit tests read).
+
+    Batches are the unit of work in both directions; the scalar
+    :meth:`transmit` / :meth:`receive` are the N=1 case.
     """
 
     name: str
@@ -36,26 +39,14 @@ class NetDev:
     tx_buffer: list[Packet] = field(default_factory=list)
 
     def transmit(self, pkt: Packet) -> None:
-        """Egress entry point: account, then qdisc or wire."""
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += len(pkt)
-        if self.qdisc is not None:
-            self.qdisc.enqueue(pkt, self)
-            return
-        self._emit(pkt)
+        """Egress entry point (batch of one)."""
+        self.transmit_batch([pkt])
 
-    def _emit(self, pkt: Packet) -> None:
-        """Hand the packet to the wire (or the test buffer)."""
-        if self.link_endpoint is not None:
-            self.link_endpoint.send(pkt)
-        else:
-            self.tx_buffer.append(pkt)
-
-    def transmit_burst(self, pkts: list[Packet]) -> None:
-        """Batch egress: same per-packet accounting, one wire handoff.
+    def transmit_batch(self, pkts: list[Packet]) -> None:
+        """Batch egress: account, then qdisc or wire.
 
         A qdisc still sees packets one at a time (disciplines reorder and
-        drop individually); an attached link takes the whole burst so it
+        drop individually); an attached link takes the whole batch so it
         can coalesce delivery into one scheduler event.
         """
         stats = self.stats
@@ -66,34 +57,40 @@ class NetDev:
             for pkt in pkts:
                 self.qdisc.enqueue(pkt, self)
             return
+        self._emit_batch(pkts)
+
+    def _emit(self, pkt: Packet) -> None:
+        """Hand a qdisc-released packet to the wire (batch of one)."""
+        self._emit_batch([pkt])
+
+    def _emit_batch(self, pkts: list[Packet]) -> None:
+        """The wire handoff (or the test buffer); pcap taps wrap here."""
         if self.link_endpoint is not None:
-            self.link_endpoint.send_burst(pkts)
+            self.link_endpoint.send_batch(pkts)
         else:
             self.tx_buffer.extend(pkts)
 
     def receive(self, pkt: Packet) -> None:
-        """Called by the link when a packet arrives at this device."""
-        self.stats.rx_packets += 1
-        self.stats.rx_bytes += len(pkt)
-        pkt.input_dev = self.name
-        if self.node is not None:
-            self.node.receive(pkt, self)
+        """Ingress entry point (batch of one)."""
+        self.process_batch([pkt])
 
-    def process_burst(self, pkts: list[Packet]) -> None:
-        """Batch ingress (the NAPI-poll analogue of :meth:`receive`).
+    def process_batch(self, pkts: list[Packet]) -> None:
+        """Batch ingress (the NAPI-poll analogue).
 
-        Called by burst-mode links with a whole delivered batch; stats
-        and ``input_dev`` stamping match N ``receive()`` calls, and the
-        node continues on its burst fast path.
+        Called by links with a whole delivered batch.  The owning node
+        accounts rx stats and ``input_dev`` stamping for this device
+        (the ``ip -s link`` view lives in one place); a detached device
+        accounts locally so its counters stay meaningful.
         """
+        if self.node is not None:
+            self.node.receive_batch(pkts, self)
+            return
         stats = self.stats
         name = self.name
         for pkt in pkts:
             stats.rx_packets += 1
             stats.rx_bytes += len(pkt)
             pkt.input_dev = name
-        if self.node is not None:
-            self.node.receive_burst(pkts, self)
 
     def __str__(self) -> str:
         owner = getattr(self.node, "name", "?")

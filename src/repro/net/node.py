@@ -13,15 +13,26 @@ its lwtunnel attachment points:
 * hop-limit expiry generates ICMPv6 Time Exceeded (what legacy
   traceroute relies on, §4.3).
 
-Packets whose headers were rewritten by a tunnel re-enter the routing
-decision (re-circulation), with a budget against misconfiguration loops.
+The datapath is **batch-native**: the unit of work is a list of packets
+(the NAPI-poll analogue), and the scalar entry points are the N=1 case.
+Each packet is carried through an explicit staged pipeline —
+
+    lookup → seg6local → lwt-in → local delivery → decrement →
+    seg6 encap → lwt-out/xmit → transmit
+
+— by a per-packet :class:`DispatchContext`.  Packets whose headers were
+rewritten by a tunnel re-enter the routing decision (re-circulation),
+with a budget against misconfiguration loops.  Route lookups are
+memoised in a per-node :class:`FlowTable`, SRH advances in a memo keyed
+on the raw SRH bytes, and eBPF invocations reuse cached
+:class:`~repro.ebpf.jit.CompiledHandler` address spaces — so the cost of
+per-packet setup is paid once per flow, not once per packet.
 """
 
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .addr import as_addr, ntop, parse_prefix
@@ -35,6 +46,13 @@ from .seg6 import Seg6Encap
 from .seg6local import _FORWARD, Disposition, Seg6LocalAction
 
 _RECIRCULATION_BUDGET = 8
+
+# Stage outcomes.  Each pipeline stage returns one of these: fall through
+# to the next stage, re-enter the routing decision (the packet's headers
+# or routing state changed), or stop (delivered, dropped, transmitted).
+_NEXT = object()
+_RECIRC = object()
+_CONSUMED = object()
 
 
 @dataclass
@@ -60,20 +78,62 @@ class Listener:
     port: int | None = None
 
 
-class FlowTable:
-    """A small LRU memoising per-destination route resolution.
+@dataclass(slots=True)
+class DispatchContext:
+    """Per-packet pipeline state, threaded through the dispatch stages.
 
-    The burst fast path's equivalent of a kernel flow cache: the first
-    packet of a flow pays the longest-prefix-match walk (and, through the
+    Replaces the positional ``(table_id, nh6, burst)`` threading of the
+    old dual-path dispatcher: every stage reads and writes one small
+    mutable record, so adding a stage (or a field a stage needs) touches
+    one place.  ``dev`` records the ingress
+    :class:`~repro.net.netdev.NetDev` (None for locally originated
+    packets) for stages that attribute behaviour per device; the
+    ``ip -s link`` rx accounting itself happens once at batch entry
+    (:meth:`Node.receive_batch`), not per stage.
+    """
+
+    pkt: Packet
+    decrement: bool
+    dev: NetDev | None = None
+    table_id: int | None = None
+    nh6: bytes | None = None
+    route: Route | None = None
+    lookup_dst: bytes | None = None
+    decremented: bool = False
+
+    def rebind(self, pkt: Packet) -> "DispatchContext":
+        """Reset to pristine per-packet state for the next packet.
+
+        Batch loops reuse one context object per batch instead of
+        allocating one per packet; a context never outlives its packet's
+        trip through the pipeline, so rebinding is safe.
+        """
+        self.pkt = pkt
+        self.table_id = None
+        self.nh6 = None
+        self.route = None
+        self.lookup_dst = None
+        self.decremented = False
+        return self
+
+
+class FlowTable:
+    """A small bounded memo of per-destination route resolution.
+
+    The datapath's equivalent of a kernel flow cache: the first packet
+    of a flow pays the longest-prefix-match walk (and, through the
     route's encap, the seg6local action resolution); subsequent packets
-    of the burst hit here.  Entries pin the owning
-    :class:`~repro.net.fib.FibTable` generation at resolution time, so
-    any route add/remove invalidates them on the next access.
+    hit here.  Entries pin the owning :class:`~repro.net.fib.FibTable`
+    generation at resolution time, so any route add/remove invalidates
+    them on the next access.  Eviction is oldest-insertion-first (FIFO):
+    on the hot path that costs one plain-dict probe per lookup, where
+    strict LRU would pay a reordering write per hit — and at flow-cache
+    capacities (32k) the hit rates are indistinguishable.
     """
 
     def __init__(self, capacity: int = 32768):
         self.capacity = capacity
-        self.entries: "OrderedDict[tuple[int, bytes], tuple]" = OrderedDict()
+        self.entries: "dict[tuple[int, bytes], tuple]" = {}
         self.hits = 0
         self.misses = 0
 
@@ -105,11 +165,25 @@ class Node:
         self.cpu = None  # optional repro.sim.cpu.CpuQueue for DES experiments
         self.log_messages: list[str] = []
         self.answer_echo = True
-        self.flow_table = FlowTable()  # burst fast path route memo
-        # Per-device egress accumulator (keyed by device name), active only
-        # while a burst is being dispatched; flushed through
-        # NetDev.transmit_burst at burst end.
+        self.flow_table = FlowTable()  # route-resolution memo
+        # Per-device egress accumulator (keyed by device name), active while
+        # a batch is being dispatched; flushed through NetDev.transmit_batch
+        # at batch end.  Nested dispatches (ICMP errors, echo replies)
+        # append to the already-active batch, preserving per-device order.
         self._egress_batch: dict[str, list[Packet]] | None = None
+        # The staged pipeline walk, in order.  Stages are mutually
+        # exclusive on the route's encap type except decrement, which
+        # applies to every forwarded packet exactly once.  The seg6local
+        # stage is not walked: _run_pipeline dispatches it directly, since
+        # a seg6local route always consumes or recirculates the packet.
+        self._stages = (
+            self._stage_lwt_in,
+            self._stage_local,
+            self._stage_decrement,
+            self._stage_seg6_encap,
+            self._stage_lwt_out,
+            self._stage_transmit,
+        )
 
     # -- configuration ------------------------------------------------------
     def add_device(self, name: str) -> NetDev:
@@ -190,77 +264,92 @@ class Node:
 
     # -- datapath entry points ---------------------------------------------------
     def receive(self, pkt: Packet, dev: NetDev | None = None) -> None:
-        """A packet arrived from the wire on ``dev``."""
-        pkt.rx_tstamp_ns = self.clock_ns()
-        self.counters.rx += 1
-        if self.cpu is not None:
-            self.cpu.submit(pkt, self._input)
-        else:
-            self._input(pkt)
+        """A packet arrived from the wire on ``dev`` (batch of one)."""
+        self.receive_batch([pkt], dev)
 
     def send(self, pkt: Packet) -> None:
-        """Transmit a locally originated packet."""
-        self._dispatch(pkt, decrement=False)
+        """Transmit a locally originated packet (batch of one)."""
+        self.send_batch([pkt])
 
-    # -- burst fast path ---------------------------------------------------------
-    def receive_burst(self, pkts: list[Packet], dev: NetDev | None = None) -> None:
-        """Batch variant of :meth:`receive` (the NAPI-poll analogue).
+    def receive_batch(self, pkts: list[Packet], dev: NetDev | None = None) -> None:
+        """Batch ingress: the NAPI-poll entry point, and the only one.
 
-        Per-packet semantics are identical to N ``receive()`` calls in
-        order; the burst flag lets the datapath amortise eBPF context
-        assembly (compiled handlers), route lookups (the flow table) and
-        SRH parsing across the batch.  The CPU-queue path keeps
-        per-packet submission — the cost model charges per packet anyway.
+        Per-packet semantics are those of N arrivals in order; egress is
+        accumulated per device and flushed once at batch end, so links
+        see whole batches while per-device wire order stays exactly the
+        order of the input.  ``dev`` identifies the ingress device: its
+        ``ip -s link`` rx counters are bumped and each packet is stamped
+        with ``input_dev``.  With a CPU cost model attached, the whole
+        batch is submitted to the queue (per-packet costs, one
+        completion — the interrupt-coalescing analogue).
         """
-        if self.cpu is not None:
-            for pkt in pkts:
-                self.receive(pkt, dev)
-            return
         clock = self.clock_ns
         counters = self.counters
-        dispatch = self._dispatch
+        if dev is not None:
+            name = dev.name
+            rx_bytes = 0
+            for pkt in pkts:
+                rx_bytes += len(pkt)
+                pkt.input_dev = name
+                pkt.rx_tstamp_ns = clock()
+            stats = dev.stats
+            stats.rx_packets += len(pkts)
+            stats.rx_bytes += rx_bytes
+        else:
+            for pkt in pkts:
+                pkt.rx_tstamp_ns = clock()
+        counters.rx += len(pkts)
+        if self.cpu is not None:
+            self.cpu.submit_batch(pkts, lambda batch: self._input_batch(batch, dev))
+            return
+        self._input_batch(pkts, dev)
+
+    def send_batch(self, pkts: list[Packet]) -> None:
+        """Batch egress for locally originated packets (generators, daemons)."""
         outer = self._egress_batch
         if outer is None:
             self._egress_batch = {}
+        ctx = DispatchContext(None, decrement=False)
+        run = self._run_pipeline
         try:
             for pkt in pkts:
-                pkt.rx_tstamp_ns = clock()
-                counters.rx += 1
-                if len(pkt.data) < IPV6_HEADER_LEN:
-                    counters.dropped += 1
-                    continue
-                dispatch(pkt, True, None, None, True)
+                run(ctx.rebind(pkt))
         finally:
             if outer is None:
                 self._flush_egress()
 
-    def send_burst(self, pkts: list[Packet]) -> None:
-        """Batch variant of :meth:`send` for burst-mode traffic generators."""
-        dispatch = self._dispatch
+    # -- internals --------------------------------------------------------------
+    def _input_batch(self, pkts: list[Packet], dev: NetDev | None = None) -> None:
         outer = self._egress_batch
         if outer is None:
             self._egress_batch = {}
+        counters = self.counters
+        run = self._run_pipeline
+        ctx = DispatchContext(None, decrement=True, dev=dev)
         try:
             for pkt in pkts:
-                dispatch(pkt, False, None, None, True)
+                if len(pkt.data) < IPV6_HEADER_LEN:
+                    counters.dropped += 1
+                    continue
+                run(ctx.rebind(pkt))
         finally:
             if outer is None:
                 self._flush_egress()
 
     def _flush_egress(self) -> None:
-        """Hand each device its accumulated burst (order preserved per device)."""
+        """Hand each device its accumulated batch (order preserved per device)."""
         batch = self._egress_batch
         self._egress_batch = None
         if batch:
             for dev_name, out in batch.items():
-                self.devices[dev_name].transmit_burst(out)
+                self.devices[dev_name].transmit_batch(out)
 
-    def _route_fast(self, table_id: int, dst: bytes) -> "Route | None":
-        """Flow-table-memoised route lookup (burst fast path only).
+    def _lookup_route(self, table_id: int, dst: bytes) -> "Route | None":
+        """Flow-table-memoised route lookup.
 
         Misses fall through to the FIB's longest-prefix match; hits are
         revalidated against the table generation so route changes take
-        effect exactly as in the scalar path.
+        effect immediately.
         """
         table = self.tables.get(table_id)
         if table is None:
@@ -271,118 +360,163 @@ class Node:
         hit = entries.get(key)
         if hit is not None and hit[1] == table.generation:
             flow_table.hits += 1
-            entries.move_to_end(key)
             return hit[0]
         flow_table.misses += 1
         route = table.lookup(dst)
         entries[key] = (route, table.generation)
         if len(entries) > flow_table.capacity:
-            entries.popitem(last=False)
+            # FIFO eviction: dicts iterate in insertion order, so the
+            # first key is the oldest resolution.
+            del entries[next(iter(entries))]
         return route
 
-    # -- internals --------------------------------------------------------------
-    def _input(self, pkt: Packet) -> None:
-        if len(pkt.data) < IPV6_HEADER_LEN:
-            self.counters.dropped += 1
-            return
-        self._dispatch(pkt, decrement=True)
-
-    def _dispatch(
-        self,
-        pkt: Packet,
-        decrement: bool,
-        table_id: int | None = None,
-        nh6: bytes | None = None,
-        burst: bool = False,
-    ) -> None:
-        """Route the packet and apply tunnels until it leaves or dies.
-
-        ``burst`` selects the fast variants of each stage — memoised
-        route lookups, compiled-handler eBPF invocation, lazy ECMP
-        hashing — which are observably identical to the scalar stages
-        (the burst differential tests drive both and compare).
-        """
-        decremented = False
+    # -- the staged pipeline -----------------------------------------------------
+    def _run_pipeline(self, ctx: DispatchContext) -> None:
+        """Carry one packet through the stages until it leaves or dies."""
+        lookup = self._lookup_route
+        counters = self.counters
+        pkt = ctx.pkt
         for _ in range(_RECIRCULATION_BUDGET):
-            lookup_dst = nh6 if nh6 is not None else pkt.dst
-            if burst:
-                route = self._route_fast(table_id or MAIN_TABLE, lookup_dst)
-            else:
-                route = self.table(table_id or MAIN_TABLE).lookup(lookup_dst)
+            nh6 = ctx.nh6
+            ctx.lookup_dst = nh6 if nh6 is not None else pkt.dst
+            route = lookup(ctx.table_id or MAIN_TABLE, ctx.lookup_dst)
             if route is None:
-                self.counters.no_route += 1
-                self.counters.dropped += 1
+                counters.no_route += 1
+                counters.dropped += 1
                 return
-
-            encap = route.encap
-            if burst and encap is None and not route.local:
-                # Burst shortcut for the plain-forward iteration: identical
-                # to falling through every stage below with a None encap.
-                if decrement and not decremented:
-                    decremented = True
-                    if pkt.decrement_hop_limit() == 0:
-                        self.counters.hop_limit_exceeded += 1
-                        self._send_time_exceeded(pkt)
-                        return
-                    self.counters.forwarded += 1
-                self._transmit(pkt, route, nh6, lazy_hash=True)
+            ctx.route = route
+            if route.encap is None and not route.local:
+                # Plain forward — the dominant iteration.  Only the
+                # decrement and transmit stages apply, so call them
+                # directly instead of polling the encap stages with a
+                # None encap.
+                if self._stage_decrement(ctx) is _NEXT:
+                    self._stage_transmit(ctx)
                 return
-
-            if isinstance(encap, Seg6LocalAction):
-                self.counters.seg6local_processed += 1
-                disposition = (
-                    encap.process_fast(pkt, self) if burst else encap.process(pkt, self)
-                )
-                if disposition is _FORWARD:
-                    table_id = nh6 = None
-                    continue
-                outcome = self._apply_disposition(disposition, pkt)
-                if outcome is None:
+            if isinstance(route.encap, Seg6LocalAction):
+                # seg6local consumes or recirculates, never falls through;
+                # the driver dispatches it directly (it is not part of the
+                # stage walk below).
+                if self._stage_seg6local(ctx) is _CONSUMED:
                     return
-                table_id, nh6 = outcome
                 continue
-
-            if isinstance(encap, BpfLwt) and encap.prog_in is not None and not decremented:
-                disposition = encap.run_hook("lwt_in", pkt, self, fast=burst)
-                outcome = self._apply_disposition(disposition, pkt)
-                if outcome is None:
-                    return
-                table_id, nh6 = outcome
-                if table_id is not None or nh6 is not None or pkt.dst != lookup_dst:
-                    continue
-
-            if route.local:
-                self._deliver_local(pkt)
+            outcome = _NEXT
+            for stage in self._stages:
+                outcome = stage(ctx)
+                if outcome is not _NEXT:
+                    break
+            if outcome is _CONSUMED:
                 return
-
-            if decrement and not decremented:
-                decremented = True
-                if pkt.decrement_hop_limit() == 0:
-                    self.counters.hop_limit_exceeded += 1
-                    self._send_time_exceeded(pkt)
-                    return
-                self.counters.forwarded += 1
-
-            if isinstance(encap, Seg6Encap):
-                pkt.data = bytearray(encap.apply(bytes(pkt.data), self.primary_address()))
-                table_id, nh6 = None, None
-                continue
-
-            if isinstance(encap, BpfLwt) and encap.has_output_stage():
-                old_dst = pkt.dst
-                for hook in ("lwt_out", "lwt_xmit"):
-                    disposition = encap.run_hook(hook, pkt, self, fast=burst)
-                    outcome = self._apply_disposition(disposition, pkt)
-                    if outcome is None:
-                        return
-                    table_id, nh6 = outcome
-                if table_id is not None or nh6 is not None or pkt.dst != old_dst:
-                    continue
-
-            self._transmit(pkt, route, nh6, lazy_hash=burst)
-            return
+            # _RECIRC: a tunnel rewrote headers or routing state; the
+            # packet re-enters the routing decision.
         self.log("re-circulation budget exceeded; dropping")
         self.counters.dropped += 1
+
+    def _stage_seg6local(self, ctx: DispatchContext):
+        """A matched seg6local route consumes the packet with its action (§3)."""
+        encap = ctx.route.encap
+        if not isinstance(encap, Seg6LocalAction):
+            return _NEXT
+        self.counters.seg6local_processed += 1
+        disposition = encap.process(ctx.pkt, self)
+        if disposition is _FORWARD:
+            ctx.table_id = ctx.nh6 = None
+            return _RECIRC
+        outcome = self._apply_disposition(disposition, ctx.pkt)
+        if outcome is None:
+            return _CONSUMED
+        ctx.table_id, ctx.nh6 = outcome
+        return _RECIRC
+
+    def _stage_lwt_in(self, ctx: DispatchContext):
+        """Run a route-attached ``lwt_in`` program on the input side (§2.1)."""
+        encap = ctx.route.encap
+        if (
+            not isinstance(encap, BpfLwt)
+            or encap.prog_in is None
+            or ctx.decremented
+        ):
+            return _NEXT
+        disposition = encap.run_hook("lwt_in", ctx.pkt, self)
+        outcome = self._apply_disposition(disposition, ctx.pkt)
+        if outcome is None:
+            return _CONSUMED
+        ctx.table_id, ctx.nh6 = outcome
+        if (
+            ctx.table_id is not None
+            or ctx.nh6 is not None
+            or ctx.pkt.dst != ctx.lookup_dst
+        ):
+            return _RECIRC
+        return _NEXT
+
+    def _stage_local(self, ctx: DispatchContext):
+        """Deliver packets matching a local route to bound listeners."""
+        if not ctx.route.local:
+            return _NEXT
+        self._deliver_local(ctx.pkt)
+        return _CONSUMED
+
+    def _stage_decrement(self, ctx: DispatchContext):
+        """Hop-limit decrement, once per forwarded packet; expiry → ICMPv6."""
+        if not ctx.decrement or ctx.decremented:
+            return _NEXT
+        ctx.decremented = True
+        if ctx.pkt.decrement_hop_limit() == 0:
+            self.counters.hop_limit_exceeded += 1
+            self._send_time_exceeded(ctx.pkt)
+            return _CONSUMED
+        self.counters.forwarded += 1
+        return _NEXT
+
+    def _stage_seg6_encap(self, ctx: DispatchContext):
+        """A transit seg6 route pushes an SRH / outer header (§2)."""
+        encap = ctx.route.encap
+        if not isinstance(encap, Seg6Encap):
+            return _NEXT
+        pkt = ctx.pkt
+        pkt.data = bytearray(encap.apply(bytes(pkt.data), self.primary_address()))
+        ctx.table_id = ctx.nh6 = None
+        return _RECIRC
+
+    def _stage_lwt_out(self, ctx: DispatchContext):
+        """Run route-attached ``lwt_out``/``lwt_xmit`` programs (§2.1)."""
+        encap = ctx.route.encap
+        if not isinstance(encap, BpfLwt) or not encap.has_output_stage():
+            return _NEXT
+        pkt = ctx.pkt
+        old_dst = pkt.dst
+        for hook in ("lwt_out", "lwt_xmit"):
+            disposition = encap.run_hook(hook, pkt, self)
+            outcome = self._apply_disposition(disposition, pkt)
+            if outcome is None:
+                return _CONSUMED
+            ctx.table_id, ctx.nh6 = outcome
+        if ctx.table_id is not None or ctx.nh6 is not None or pkt.dst != old_dst:
+            return _RECIRC
+        return _NEXT
+
+    def _stage_transmit(self, ctx: DispatchContext):
+        """Select a nexthop and park the packet on its device's egress batch."""
+        route, pkt = ctx.route, ctx.pkt
+        nexthops = route.nexthops
+        if len(nexthops) == 1:
+            # ECMP selection is the 5-tuple hash's only consumer, so a
+            # single-nexthop route skips the L4 walk entirely.
+            nexthop = nexthops[0]
+        else:
+            nexthop = route.select_nexthop(pkt.flow_hash())
+        if nexthop is None or nexthop.dev not in self.devices:
+            self.counters.dropped += 1
+            return _CONSUMED
+        pkt.trace.append(self.name)
+        self.counters.tx += 1
+        batch = self._egress_batch
+        out = batch.get(nexthop.dev)
+        if out is None:
+            batch[nexthop.dev] = out = []
+        out.append(pkt)
+        return _CONSUMED
 
     def _apply_disposition(
         self, disposition: Disposition, pkt: Packet
@@ -390,50 +524,12 @@ class Node:
         """None = packet consumed; otherwise (table_id, nh6) to re-route."""
         if disposition.action == "drop":
             self.counters.dropped += 1
-            self.counters.bpf_dropped += "BPF" in disposition.reason
+            self.counters.bpf_dropped += disposition.bpf
             return None
         if disposition.action == "local":
             self._deliver_local(pkt)
             return None
         return disposition.table_id, disposition.nh6
-
-    def _transmit(
-        self, pkt: Packet, route: Route, nh6: bytes | None, lazy_hash: bool = False
-    ) -> None:
-        # The burst path skips the 5-tuple hash when the route has a single
-        # nexthop — ECMP selection is the hash's only consumer, so the
-        # outcome is identical and a burst saves one L4 walk per packet.
-        nexthops = route.nexthops
-        if lazy_hash and len(nexthops) == 1:
-            nexthop = nexthops[0]
-        else:
-            nexthop = route.select_nexthop(pkt.flow_hash())
-        if nexthop is None or nexthop.dev not in self.devices:
-            self.counters.dropped += 1
-            return
-        pkt.trace.append(self.name)
-        self.counters.tx += 1
-        dev = self.devices[nexthop.dev]
-        batch = self._egress_batch
-        if lazy_hash:
-            # Burst egress is accumulated per device and flushed once at
-            # burst end, so links see whole batches; per-device packet
-            # order matches the scalar path exactly.
-            if batch is not None:
-                out = batch.get(dev.name)
-                if out is None:
-                    batch[dev.name] = out = []
-                out.append(pkt)
-                return
-        elif batch is not None:
-            # A scalar transmission while a burst is active — a locally
-            # generated ICMP error, echo reply or daemon datagram.  Flush
-            # this device's parked burst first so the wire order stays
-            # exactly what N scalar receives would have produced.
-            out = batch.pop(dev.name, None)
-            if out:
-                dev.transmit_burst(out)
-        dev.transmit(pkt)
 
     # -- local delivery -------------------------------------------------------------
     def _deliver_local(self, pkt: Packet) -> None:

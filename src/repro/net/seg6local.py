@@ -20,6 +20,13 @@ return value selects the subsequent processing:
 If the program altered the SRH through the helpers, the header is
 re-validated before the packet continues; an inconsistent SRH is dropped
 (§3.1).
+
+Processing is batch-native: every advancing action's ``process`` runs
+the shared memoised End prologue (the SRH-advance verdict is keyed on
+the raw SRH bytes), and ``End.BPF`` invokes its program through the
+cached per-(program, attach point)
+:class:`~repro.ebpf.jit.CompiledHandler` — so a batch of packets from
+the same flow pays SRH parsing and eBPF context assembly once.
 """
 
 from __future__ import annotations
@@ -28,7 +35,8 @@ from dataclasses import dataclass, field
 
 from ..ebpf import BPF_DROP, BPF_OK, BPF_REDIRECT, Program
 from ..ebpf.errors import BpfError, VmFault
-from ..ebpf.jit import compiled_handler
+from ..ebpf import jit as _jit
+from ..ebpf.jit import _HANDLER_CACHE_STATS, compiled_handler
 from .addr import as_addr
 from .ipv6 import IPV6_HEADER_LEN, PROTO_ROUTING
 from .packet import Packet
@@ -48,12 +56,19 @@ SEG6_LOCAL_ACTION_END_B6_ENCAP = 10
 
 @dataclass
 class Disposition:
-    """What the node should do with the packet after an action ran."""
+    """What the node should do with the packet after an action ran.
+
+    ``bpf`` marks drops decided by an attached eBPF program's execution
+    (an explicit ``BPF_DROP`` verdict, a program fault, or a
+    program-corrupted SRH) — the node's ``bpf_dropped`` counter counts
+    exactly these, independent of the human-readable ``reason`` text.
+    """
 
     action: str  # "forward" | "drop" | "local"
     table_id: int | None = None
     nh6: bytes | None = None
     reason: str = ""
+    bpf: bool = False
 
     @classmethod
     def forward(cls, table_id=None, nh6=None) -> "Disposition":
@@ -61,9 +76,13 @@ class Disposition:
         return cls("forward", table_id=table_id, nh6=nh6)
 
     @classmethod
-    def drop(cls, reason: str) -> "Disposition":
-        """Consume the packet; ``reason`` lands in logs/tests."""
-        return cls("drop", reason=reason)
+    def drop(cls, reason: str, bpf: bool = False) -> "Disposition":
+        """Consume the packet; ``reason`` lands in logs/tests.
+
+        Pass ``bpf=True`` when the drop is a BPF program's doing, so the
+        datapath can count it without parsing the reason string.
+        """
+        return cls("drop", reason=reason, bpf=bpf)
 
 
 # Shared instance for the overwhelmingly common verdict.  Dispositions are
@@ -72,232 +91,17 @@ class Disposition:
 _FORWARD = Disposition("forward")
 
 
-class Seg6LocalAction:
-    """Base class: validates the SRH and advances to the next segment."""
-
-    kind = "End"
-    needs_srh = True
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Validate the SRH, advance to the next segment, forward (plain End, §2)."""
-        srh_info = self._require_srh(pkt)
-        if srh_info is None:
-            return Disposition.drop("no SRH")
-        srh, offset = srh_info
-        if srh.segments_left == 0:
-            return Disposition.drop("segments_left == 0")
-        self._advance(pkt, srh, offset)
-        return Disposition.forward()
-
-    def process_fast(self, pkt: Packet, node) -> Disposition:
-        """Burst-mode :meth:`process`: the same advance via the SRH memo.
-
-        Observably identical to the scalar path — the burst differential
-        tests enforce this.  Subclasses whose :meth:`process` diverges
-        from plain End semantics either override this too (``End.X``,
-        ``End.T``, ``End.BPF``) or pin it back to their scalar
-        :meth:`process` (the decap/policy actions).
-        """
-        verdict = _advance_verdict(pkt.data)
-        if verdict is _V_NO_SRH:
-            return Disposition.drop("no SRH")
-        if verdict is _V_SL_ZERO:
-            return Disposition.drop("segments_left == 0")
-        new_sl, new_active = verdict
-        pkt.data[IPV6_HEADER_LEN + 3] = new_sl
-        pkt.data[24:40] = new_active
-        return _FORWARD
-
-    def process_burst(self, pkts: list[Packet], node) -> list[Disposition]:
-        """Process a packet batch; one disposition per packet, in order.
-
-        Per-packet semantics are exactly those of :meth:`process`; the
-        batch form exists so the datapath (and direct users) can amortise
-        per-invocation setup across the burst.
-        """
-        process = self.process_fast
-        return [process(pkt, node) for pkt in pkts]
-
-    # -- shared machinery ---------------------------------------------------
-    @staticmethod
-    def _require_srh(pkt: Packet):
-        return pkt.srh()
-
-    @staticmethod
-    def _advance(pkt: Packet, srh: SRH, offset: int) -> bytes:
-        """Decrement segments_left in place and rewrite the destination."""
-        new_active = srh.advance()
-        pkt.data[offset + 3] = srh.segments_left
-        pkt.set_dst(new_active)
-        return new_active
-
-
-@dataclass
-class End(Seg6LocalAction):
-    """Plain endpoint: advance and forward along the next segment."""
-
-    kind = "End"
-
-
-@dataclass
-class EndX(Seg6LocalAction):
-    """Advance, then forward to a specific layer-3 nexthop."""
-
-    nh6: bytes
-    kind = "End.X"
-
-    def __post_init__(self) -> None:
-        self.nh6 = as_addr(self.nh6)
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Advance, then pin the layer-3 nexthop (End.X, §2)."""
-        base = super().process(pkt, node)
-        if base.action != "forward":
-            return base
-        return Disposition.forward(nh6=self.nh6)
-
-    def process_fast(self, pkt: Packet, node) -> Disposition:
-        """Burst-mode :meth:`process`: memoised advance, same nexthop pinning."""
-        base = super().process_fast(pkt, node)
-        if base.action != "forward":
-            return base
-        return Disposition.forward(nh6=self.nh6)
-
-
-@dataclass
-class EndT(Seg6LocalAction):
-    """Advance, then look up the next segment in a specific table."""
-
-    table_id: int
-    kind = "End.T"
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Advance, then route in the configured table (End.T, §2)."""
-        base = super().process(pkt, node)
-        if base.action != "forward":
-            return base
-        return Disposition.forward(table_id=self.table_id)
-
-    def process_fast(self, pkt: Packet, node) -> Disposition:
-        """Burst-mode :meth:`process`: memoised advance, same table redirect."""
-        base = super().process_fast(pkt, node)
-        if base.action != "forward":
-            return base
-        return Disposition.forward(table_id=self.table_id)
-
-
-@dataclass
-class EndDT6(Seg6LocalAction):
-    """Decapsulate and look the inner packet up in a table (last segment)."""
-
-    table_id: int
-    kind = "End.DT6"
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Decapsulate at the last segment and route the inner packet in a table (§2)."""
-        srh_info = pkt.srh()
-        if srh_info is not None and srh_info[0].segments_left != 0:
-            return Disposition.drop("End.DT6 requires segments_left == 0")
-        try:
-            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
-        except ValueError as exc:
-            return Disposition.drop(f"decap failed: {exc}")
-        return Disposition.forward(table_id=self.table_id)
-
-    # Decap semantics differ from plain End; keep the scalar path in bursts.
-    process_fast = process
-
-
-@dataclass
-class EndDX6(Seg6LocalAction):
-    """Decapsulate and forward the inner packet to a fixed nexthop."""
-
-    nh6: bytes
-    kind = "End.DX6"
-
-    def __post_init__(self) -> None:
-        self.nh6 = as_addr(self.nh6)
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Decapsulate at the last segment and pin the inner packet's nexthop (§2)."""
-        srh_info = pkt.srh()
-        if srh_info is not None and srh_info[0].segments_left != 0:
-            return Disposition.drop("End.DX6 requires segments_left == 0")
-        try:
-            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
-        except ValueError as exc:
-            return Disposition.drop(f"decap failed: {exc}")
-        return Disposition.forward(nh6=self.nh6)
-
-    # Decap semantics differ from plain End; keep the scalar path in bursts.
-    process_fast = process
-
-
-@dataclass
-class EndB6(Seg6LocalAction):
-    """Apply an SRv6 policy: insert an additional SRH (no advance)."""
-
-    segments: list[bytes]
-    kind = "End.B6"
-
-    def __post_init__(self) -> None:
-        self.segments = [as_addr(seg) for seg in self.segments]
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Insert an additional SRH carrying the policy's segments (End.B6, §2)."""
-        header_dst = pkt.dst
-        path = list(self.segments) + [header_dst]
-        from .ipv6 import IPv6Header
-
-        inner_nh = IPv6Header.parse(bytes(pkt.data)).next_header
-        srh = make_srh(path, next_header=inner_nh)
-        pkt.data = bytearray(push_srh_inline(bytes(pkt.data), srh))
-        return Disposition.forward()
-
-    # Policy insertion does not advance; keep the scalar path in bursts.
-    process_fast = process
-
-
-@dataclass
-class EndB6Encaps(Seg6LocalAction):
-    """Advance, then encapsulate with an outer header carrying a new SRH."""
-
-    segments: list[bytes]
-    source: bytes | None = None
-    kind = "End.B6.Encaps"
-
-    def __post_init__(self) -> None:
-        self.segments = [as_addr(seg) for seg in self.segments]
-        if self.source is not None:
-            self.source = as_addr(self.source)
-
-    def process(self, pkt: Packet, node) -> Disposition:
-        """Advance, then encapsulate with an outer header and new SRH (§2)."""
-        base = super().process(pkt, node)
-        if base.action != "forward":
-            return base
-        outer_src = self.source or node.primary_address()
-        from .ipv6 import PROTO_IPV6
-
-        srh = make_srh(list(self.segments), next_header=PROTO_IPV6)
-        pkt.data = bytearray(push_outer_encap(bytes(pkt.data), outer_src, srh))
-        return Disposition.forward()
-
-    # Advance-plus-encap chains through super().process(); keep it scalar.
-    process_fast = process
-
-
-# --- burst fast path: memoised SRv6 "End" processing -------------------------
+# --- memoised SRv6 "End" prologue ---------------------------------------------
 #
 # Every advancing endpoint action starts with the same prologue: parse the
 # SRH, check segments_left, decrement it and rewrite the IPv6 destination to
-# the new active segment.  For a burst the SRH bytes repeat across packets
-# of a flow, so the *verdict* of that prologue — a failure sentinel, or
-# (new segments_left, new active segment) — is memoised on the raw SRH
-# slice.  Keying on the exact bytes makes the memo trivially faithful: two
-# packets with identical SRH bytes get identical verdicts from SRH.parse by
-# definition.  The sentinels let each action class keep its own scalar drop
-# reason ("no SRH" vs "End.BPF: no SRH").
+# the new active segment.  Across a batch the SRH bytes repeat per flow, so
+# the *verdict* of that prologue — a failure sentinel, or (new
+# segments_left, new active segment) — is memoised on the raw SRH slice.
+# Keying on the exact bytes makes the memo trivially faithful: two packets
+# with identical SRH bytes get identical verdicts from SRH.parse by
+# definition.  The sentinels let each action class keep its own drop reason
+# ("no SRH" vs "End.BPF: no SRH").
 
 _V_NO_SRH = ("no_srh",)
 _V_SL_ZERO = ("sl_zero",)
@@ -336,6 +140,169 @@ def _advance_verdict(data: bytearray) -> tuple:
     return verdict
 
 
+def clear_advance_memo() -> None:
+    """Drop the SRH-advance memo (benchmark baselines, memory pressure)."""
+    _ADVANCE_MEMO.clear()
+
+
+class Seg6LocalAction:
+    """Base class: validates the SRH and advances to the next segment."""
+
+    kind = "End"
+    needs_srh = True
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Validate the SRH, advance to the next segment, forward (plain End, §2).
+
+        The advance verdict is memoised on the raw SRH bytes (see
+        :func:`_advance_verdict`); the destination rewrite happens in
+        place on the packet buffer.
+        """
+        verdict = _advance_verdict(pkt.data)
+        if verdict is _V_NO_SRH:
+            return Disposition.drop("no SRH")
+        if verdict is _V_SL_ZERO:
+            return Disposition.drop("segments_left == 0")
+        new_sl, new_active = verdict
+        pkt.data[IPV6_HEADER_LEN + 3] = new_sl
+        pkt.data[24:40] = new_active
+        return _FORWARD
+
+    def process_batch(self, pkts: list[Packet], node) -> list[Disposition]:
+        """Process a packet batch; one disposition per packet, in order."""
+        process = self.process
+        return [process(pkt, node) for pkt in pkts]
+
+
+@dataclass
+class End(Seg6LocalAction):
+    """Plain endpoint: advance and forward along the next segment."""
+
+    kind = "End"
+
+
+@dataclass
+class EndX(Seg6LocalAction):
+    """Advance, then forward to a specific layer-3 nexthop."""
+
+    nh6: bytes
+    kind = "End.X"
+
+    def __post_init__(self) -> None:
+        self.nh6 = as_addr(self.nh6)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then pin the layer-3 nexthop (End.X, §2)."""
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(nh6=self.nh6)
+
+
+@dataclass
+class EndT(Seg6LocalAction):
+    """Advance, then look up the next segment in a specific table."""
+
+    table_id: int
+    kind = "End.T"
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then route in the configured table (End.T, §2)."""
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        return Disposition.forward(table_id=self.table_id)
+
+
+@dataclass
+class EndDT6(Seg6LocalAction):
+    """Decapsulate and look the inner packet up in a table (last segment)."""
+
+    table_id: int
+    kind = "End.DT6"
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Decapsulate at the last segment and route the inner packet in a table (§2)."""
+        srh_info = pkt.srh()
+        if srh_info is not None and srh_info[0].segments_left != 0:
+            return Disposition.drop("End.DT6 requires segments_left == 0")
+        try:
+            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
+        except ValueError as exc:
+            return Disposition.drop(f"decap failed: {exc}")
+        return Disposition.forward(table_id=self.table_id)
+
+
+@dataclass
+class EndDX6(Seg6LocalAction):
+    """Decapsulate and forward the inner packet to a fixed nexthop."""
+
+    nh6: bytes
+    kind = "End.DX6"
+
+    def __post_init__(self) -> None:
+        self.nh6 = as_addr(self.nh6)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Decapsulate at the last segment and pin the inner packet's nexthop (§2)."""
+        srh_info = pkt.srh()
+        if srh_info is not None and srh_info[0].segments_left != 0:
+            return Disposition.drop("End.DX6 requires segments_left == 0")
+        try:
+            pkt.data = bytearray(decap_outer(bytes(pkt.data)))
+        except ValueError as exc:
+            return Disposition.drop(f"decap failed: {exc}")
+        return Disposition.forward(nh6=self.nh6)
+
+
+@dataclass
+class EndB6(Seg6LocalAction):
+    """Apply an SRv6 policy: insert an additional SRH (no advance)."""
+
+    segments: list[bytes]
+    kind = "End.B6"
+
+    def __post_init__(self) -> None:
+        self.segments = [as_addr(seg) for seg in self.segments]
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Insert an additional SRH carrying the policy's segments (End.B6, §2)."""
+        header_dst = pkt.dst
+        path = list(self.segments) + [header_dst]
+        from .ipv6 import IPv6Header
+
+        inner_nh = IPv6Header.parse(bytes(pkt.data)).next_header
+        srh = make_srh(path, next_header=inner_nh)
+        pkt.data = bytearray(push_srh_inline(bytes(pkt.data), srh))
+        return Disposition.forward()
+
+
+@dataclass
+class EndB6Encaps(Seg6LocalAction):
+    """Advance, then encapsulate with an outer header carrying a new SRH."""
+
+    segments: list[bytes]
+    source: bytes | None = None
+    kind = "End.B6.Encaps"
+
+    def __post_init__(self) -> None:
+        self.segments = [as_addr(seg) for seg in self.segments]
+        if self.source is not None:
+            self.source = as_addr(self.source)
+
+    def process(self, pkt: Packet, node) -> Disposition:
+        """Advance, then encapsulate with an outer header and new SRH (§2)."""
+        base = super().process(pkt, node)
+        if base.action != "forward":
+            return base
+        outer_src = self.source or node.primary_address()
+        from .ipv6 import PROTO_IPV6
+
+        srh = make_srh(list(self.segments), next_header=PROTO_IPV6)
+        pkt.data = bytearray(push_outer_encap(bytes(pkt.data), outer_src, srh))
+        return Disposition.forward()
+
+
 @dataclass
 class EndBPF(Seg6LocalAction):
     """The paper's End.BPF action: advance, then run an eBPF program."""
@@ -345,30 +312,17 @@ class EndBPF(Seg6LocalAction):
     stats: dict = field(default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0})
 
     def __post_init__(self) -> None:
-        self._handler = None  # lazily bound CompiledHandler (burst fast path)
+        self._handler = None  # pinned CompiledHandler (invalidated by generation)
 
     def process(self, pkt: Packet, node) -> Disposition:
-        """Advance the SRH, then run the attached program (§3.1 semantics)."""
-        srh_info = pkt.srh()
-        if srh_info is None:
-            return Disposition.drop(_DROP_NO_SRH)
-        srh, offset = srh_info
-        if srh.segments_left == 0:
-            return Disposition.drop(_DROP_SL_ZERO)
-        self._advance(pkt, srh, offset)
+        """Advance the SRH, then run the attached program (§3.1 semantics).
 
-        hctx = self.program.make_context(
-            bytes(pkt.data), clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
-        )
-        return self._run_and_finish(pkt, node, hctx)
-
-    def process_fast(self, pkt: Packet, node) -> Disposition:
-        """Burst-mode :meth:`process`: memoised prologue + reused context.
-
-        Observably identical to the scalar path; the prologue verdict is
-        memoised on the SRH bytes and the program runs in the cached
-        per-(program, attach point) :class:`~repro.ebpf.jit.CompiledHandler`
-        instead of a freshly assembled guest address space.
+        The advance verdict is memoised on the SRH bytes and the program
+        runs in the cached per-(program, attach point)
+        :class:`~repro.ebpf.jit.CompiledHandler` instead of a freshly
+        assembled guest address space.  The handler is pinned on the
+        action instance; the cache generation check makes
+        :func:`~repro.ebpf.jit.clear_handler_cache` still reach it.
         """
         verdict = _advance_verdict(pkt.data)
         if verdict is _V_NO_SRH:
@@ -380,17 +334,22 @@ class EndBPF(Seg6LocalAction):
         pkt.data[24:40] = new_active
 
         handler = self._handler
-        if handler is None or handler.program is not self.program:
+        if (
+            handler is None
+            or handler.program is not self.program
+            or handler.cache_generation != _jit._HANDLER_CACHE_GENERATION
+        ):
             handler = compiled_handler(self.program, "seg6local")
             self._handler = handler
+        else:
+            _HANDLER_CACHE_STATS["handler_hits"] += 1  # pinned-handler reuse
         hctx = handler.arm(
             pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
         )
         return self._run_and_finish(pkt, node, hctx)
 
     def _run_and_finish(self, pkt: Packet, node, hctx) -> Disposition:
-        """Run the program and apply §3.1 return-code semantics (shared by
-        the scalar and burst paths, so they cannot drift apart)."""
+        """Run the program and apply §3.1 return-code semantics."""
         hctx.packet = pkt
         hctx.node = node
         hctx.hook = "seg6local"
@@ -399,7 +358,7 @@ class EndBPF(Seg6LocalAction):
         except (VmFault, BpfError) as exc:
             self.stats["errors"] += 1
             node.log(f"End.BPF program fault: {exc}")
-            return Disposition.drop(f"program fault: {exc}")
+            return Disposition.drop(f"program fault: {exc}", bpf=True)
 
         # Propagate helper-made modifications back into the packet.  The
         # guest packet region and pkt.data are both bytearrays, so the
@@ -418,7 +377,7 @@ class EndBPF(Seg6LocalAction):
                     )
                 except ValueError as exc:
                     self.stats["drop"] += 1
-                    return Disposition.drop(f"invalid SRH after BPF: {exc}")
+                    return Disposition.drop(f"invalid SRH after BPF: {exc}", bpf=True)
 
         if ret == BPF_OK:
             self.stats["ok"] += 1
@@ -430,5 +389,8 @@ class EndBPF(Seg6LocalAction):
                 nh6=hctx.metadata.get("redirect_nh6"),
             )
         self.stats["drop"] += 1
-        reason = "BPF_DROP" if ret == BPF_DROP else f"unknown BPF return {ret}"
-        return Disposition.drop(reason)
+        if ret == BPF_DROP:
+            return Disposition.drop("BPF_DROP", bpf=True)
+        # A malformed verdict is a datapath policy drop, not the program
+        # explicitly asking for one — it does not count as bpf_dropped.
+        return Disposition.drop(f"unknown BPF return {ret}")

@@ -49,35 +49,20 @@ class LinkEndpoint:
         return int(size_bytes * 8 * NS_PER_SEC / self.rate_bps)
 
     def send(self, pkt: Packet) -> None:
-        now = self.scheduler.now_ns
-        if self.queue_limit is not None and self._queued >= self.queue_limit:
-            self.stats.dropped += 1
-            return
-        start = max(now, self._free_at_ns)
-        depart = start + self.tx_time_ns(len(pkt))
-        self._free_at_ns = depart
-        self._queued += 1
-        self.stats.sent += 1
-        self.stats.bytes_sent += len(pkt)
-        self.scheduler.schedule_at(depart + self.delay_ns, self._deliver, pkt)
+        """Put one packet on the wire (batch of one)."""
+        self.send_batch([pkt])
 
-    def _deliver(self, pkt: Packet) -> None:
-        self._queued -= 1
-        self.stats.delivered += 1
-        self.peer_dev.receive(pkt)
+    def send_batch(self, pkts: list[Packet]) -> None:
+        """Serialise a batch back-to-back and deliver it as one batch.
 
-    # -- burst fast path -----------------------------------------------------
-    def send_burst(self, pkts: list[Packet]) -> None:
-        """Serialise a burst back-to-back and deliver it as one batch.
-
-        Rate accounting is identical to N :meth:`send` calls — the
-        transmitter's ``_free_at_ns`` advances packet by packet — but
-        delivery is coalesced into a single scheduler event at the time
-        the *last* packet finishes serialising (the NIC interrupt
-        coalescing / NAPI-poll analogue).  What burst mode trades away is
-        sub-burst latency resolution: the whole batch arrives at the
-        burst boundary, and the queue drains in burst-sized steps (so a
-        near-full queue can drop marginally more than per-packet mode).
+        The transmitter's ``_free_at_ns`` advances packet by packet (rate
+        accounting is per packet), but delivery is coalesced into a
+        single scheduler event at the time the *last* packet finishes
+        serialising — the NIC interrupt coalescing / NAPI-poll analogue.
+        What batching trades away is sub-batch latency resolution: the
+        whole batch arrives at the batch boundary, and the queue drains
+        in batch-sized steps (so a near-full queue can drop marginally
+        more than packet-at-a-time delivery would).
         """
         now = self.scheduler.now_ns
         stats = self.stats
@@ -95,14 +80,14 @@ class LinkEndpoint:
             stats.bytes_sent += len(pkt)
             accepted.append(pkt)
         if accepted:
-            self.scheduler.schedule_burst(
-                depart + self.delay_ns, self._deliver_burst, accepted
+            self.scheduler.schedule_batch(
+                depart + self.delay_ns, self._deliver_batch, accepted
             )
 
-    def _deliver_burst(self, pkts: list[Packet]) -> None:
+    def _deliver_batch(self, pkts: list[Packet]) -> None:
         self._queued -= len(pkts)
         self.stats.delivered += len(pkts)
-        self.peer_dev.process_burst(pkts)
+        self.peer_dev.process_batch(pkts)
 
     @property
     def queue_depth(self) -> int:

@@ -79,24 +79,26 @@ def tap_device(dev: NetDev, writer: PcapWriter, direction: str = "tx") -> None:
         raise ValueError("direction must be tx, rx or both")
 
     if direction in ("tx", "both"):
-        original_emit = dev._emit
+        original_emit = dev._emit_batch
 
-        def tapped_emit(pkt: Packet) -> None:
+        def tapped_emit(pkts: list[Packet]) -> None:
             now = dev.node.clock_ns() if dev.node is not None else 0
-            writer.write_packet(pkt, timestamp_ns=now)
-            original_emit(pkt)
+            for pkt in pkts:
+                writer.write_packet(pkt, timestamp_ns=now)
+            original_emit(pkts)
 
-        dev._emit = tapped_emit
+        dev._emit_batch = tapped_emit
 
     if direction in ("rx", "both"):
-        original_receive = dev.receive
+        original_receive = dev.process_batch
 
-        def tapped_receive(pkt: Packet) -> None:
+        def tapped_receive(pkts: list[Packet]) -> None:
             now = dev.node.clock_ns() if dev.node is not None else 0
-            writer.write_packet(pkt, timestamp_ns=now)
-            original_receive(pkt)
+            for pkt in pkts:
+                writer.write_packet(pkt, timestamp_ns=now)
+            original_receive(pkts)
 
-        dev.receive = tapped_receive
+        dev.process_batch = tapped_receive
 
 
 def read_pcap(path: str | Path) -> list[tuple[int, bytes]]:

@@ -32,7 +32,7 @@ class Scheduler:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self.events_run = 0
-        self.events_coalesced = 0  # heap events saved by schedule_burst
+        self.events_coalesced = 0  # heap events saved by schedule_batch
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay_ns: int, callback: Callable, *args) -> Event:
@@ -46,17 +46,19 @@ class Scheduler:
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_burst(self, time_ns: int, callback: Callable, items: list) -> Event:
-        """One heap event delivering a whole batch (``callback(items)``).
+    def schedule_batch(
+        self, time_ns: int, callback: Callable, items: list, *args
+    ) -> Event:
+        """One heap event delivering a whole batch (``callback(items, *args)``).
 
-        The burst-mode equivalent of N ``schedule_at`` calls at the same
-        instant: heap churn is paid once per burst instead of once per
+        The batch equivalent of N ``schedule_at`` calls at the same
+        instant: heap churn is paid once per batch instead of once per
         packet, which is what lets 10k-flow simulations stay event-bound
         rather than heap-bound.  ``events_coalesced`` counts the events
         saved, so benchmarks can report the amortisation.
         """
         self.events_coalesced += max(0, len(items) - 1)
-        return self.schedule_at(time_ns, callback, items)
+        return self.schedule_at(time_ns, callback, items, *args)
 
     # -- execution -------------------------------------------------------------
     def run(self, until_ns: int | None = None, max_events: int | None = None) -> int:

@@ -44,12 +44,12 @@ class UdpFlow:
         packet_factory: Callable[..., Packet] | None = None,
         burst: int = 1,
     ):
-        """``burst > 1`` emits that many packets back-to-back per tick.
+        """``burst`` sets the batch size emitted per tick (pacing grain).
 
         The average rate is unchanged (the tick interval stretches by the
         burst factor); what changes is pacing granularity — one scheduler
-        event and one batched datapath entry per burst instead of per
-        packet, which is what makes 10k-flow simulations affordable.
+        event and one datapath batch per tick, which is what makes
+        10k-flow simulations affordable.  ``burst=1`` paces per packet.
         """
         if payload_size <= 0:
             raise ValueError("payload_size must be positive")
@@ -102,10 +102,7 @@ class UdpFlow:
         now = self.scheduler.now_ns
         if self._stop_ns is not None and now >= self._stop_ns:
             return
-        if self.burst == 1:
-            self.node.send(self._make_packet(now))
-        else:
-            self.node.send_burst([self._make_packet(now) for _ in range(self.burst)])
+        self.node.send_batch([self._make_packet(now) for _ in range(self.burst)])
         self._event = self.scheduler.schedule_at(
             now + self.interval_ns * self.burst, self._tick
         )

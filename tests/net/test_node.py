@@ -184,6 +184,46 @@ def test_unknown_bpf_return_drops(router):
     router.receive(pkt, router.devices["eth0"])
     assert router.counters.dropped == 1
     assert action.stats["drop"] == 1
+    # A malformed verdict is a datapath policy drop, not the program's own
+    # BPF_DROP: the Disposition carries bpf=False, so bpf_dropped ignores it.
+    assert router.counters.bpf_dropped == 0
+
+
+def test_endbpf_srh_validation_drop_is_not_bpf_dropped(router):
+    """Pre-program SRH validation failures never count as BPF drops."""
+    prog = Program("mov r0, 0\nexit", allowed_helpers=SEG6LOCAL_HELPERS)
+    router.add_route("fc00:e::100/128", encap=EndBPF(prog))
+    pkt = make_udp_packet("fc00:1::1", "fc00:e::100", 1, 2, b"x")  # no SRH
+    router.receive(pkt, router.devices["eth0"])
+    assert router.counters.dropped == 1
+    assert router.counters.bpf_dropped == 0
+
+
+def test_bpf_lwt_drop_counted_as_bpf_dropped(router):
+    """BPF_DROP from an lwt hook sets Disposition.bpf, counted per verdict."""
+    prog = Program("mov r0, 2\nexit", allowed_helpers=LWT_HELPERS)
+    router.add_route(
+        "fc00:3::/64", via="fc00:2::1", dev="eth1", encap=BpfLwt(prog_in=prog)
+    )
+    pkt = make_udp_packet("fc00:1::1", "fc00:3::3", 1, 2, b"x")
+    router.receive(pkt, router.devices["eth0"])
+    assert router.counters.dropped == 1
+    assert router.counters.bpf_dropped == 1
+
+
+def test_receive_accounts_ingress_device_stats(router):
+    """Node.receive wires ``dev`` through to the ip -s link rx counters."""
+    eth0 = router.devices["eth0"]
+    pkt = make_udp_packet("fc00:1::1", "fc00:2::2", 1, 2, b"x")
+    size = len(pkt)
+    router.receive(pkt, eth0)
+    assert eth0.stats.rx_packets == 1
+    assert eth0.stats.rx_bytes == size
+    assert pkt.input_dev == "eth0"
+    batch = [make_udp_packet("fc00:1::1", "fc00:2::2", 1, 2, b"x") for _ in range(4)]
+    router.receive_batch(batch, eth0)
+    assert eth0.stats.rx_packets == 5
+    assert eth0.stats.rx_bytes == 5 * size
 
 
 def test_bpf_lwt_in_can_drop(router):

@@ -155,6 +155,37 @@ def test_cpu_utilisation():
     assert cpu.utilisation(4000) == 0.5
 
 
+def test_cpu_batch_submission_charges_per_packet_completes_once():
+    """submit_batch costs what N submits cost, but coalesces completion."""
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    cpu = CpuQueue(sched, CostModel(forward_ns=1000), node)
+    done = []
+    pkts = [make_udp_packet("fc00::1", "fc00::2", 1, 2, b"") for _ in range(3)]
+    cpu.submit_batch(pkts, lambda batch: done.append((sched.now_ns, len(batch))))
+    events_before = sched.events_run
+    sched.run()
+    # The batch completes in one event at the last packet's finish time.
+    assert done == [(3000, 3)]
+    assert sched.events_run - events_before == 1
+    assert cpu.stats.processed == 3
+    assert cpu.stats.busy_ns == 3000
+    assert cpu.utilisation(3000) == 1.0
+
+
+def test_cpu_batch_submission_overflow_drops_individually():
+    sched = Scheduler()
+    node = Node("M", clock_ns=sched.now_fn())
+    cpu = CpuQueue(sched, CostModel(forward_ns=100), node, queue_limit=2)
+    got = []
+    pkts = [make_udp_packet("fc00::1", "fc00::2", 1, 2, b"") for _ in range(5)]
+    cpu.submit_batch(pkts, lambda batch: got.extend(batch))
+    sched.run()
+    assert cpu.stats.dropped == 3
+    assert cpu.stats.processed == 2
+    assert len(got) == 2
+
+
 def test_node_routes_through_cpu_queue():
     sched = Scheduler()
     node = Node("M", clock_ns=sched.now_fn())
