@@ -18,7 +18,7 @@ Three sweeps beyond the paper's reported points:
 import pytest
 
 from repro.bench import BATCH_SIZE, copy_batch, drive_batch
-from repro.sim import FlowMeter, UdpFlow, build_setup2, make_connection, mbps
+from repro.sim import build_setup2, mbps
 from repro.sim.scheduler import NS_PER_MS, NS_PER_SEC
 from repro.usecases import deploy_hybrid_access
 
@@ -66,14 +66,10 @@ WEIGHT_RESULTS: dict[tuple[int, int], float] = {}
 def run_weights(weights) -> float:
     setup = build_setup2()
     deploy_hybrid_access(setup, weights=weights)
-    meter = FlowMeter()
-    setup.s2.bind(meter.on_packet, proto=17, port=5201)
-    flow = UdpFlow(
-        setup.scheduler, setup.s1, "fc00:1::1", "fc00:2::2",
-        rate_bps=150e6, payload_size=1400,
-    )
+    meter = setup.net.sink("S2")
+    flow = setup.net.trafgen("S1", dst="fc00:2::2", rate_bps=150e6, payload_size=1400)
     flow.start(duration_ns=NS_PER_SEC // 2)
-    setup.scheduler.run(until_ns=int(0.8 * NS_PER_SEC))
+    setup.net.run(until_ns=int(0.8 * NS_PER_SEC))
     return meter.goodput_bps()
 
 
@@ -106,19 +102,14 @@ DELAY_RESULTS: dict[int, float] = {}
 
 
 def run_fixed_compensation(delay_ms: int) -> float:
-    from repro.sim import NetemQdisc
-
     setup = build_setup2()
     deploy_hybrid_access(setup, weights=(5, 3), compensation=False)
     # Apply a *fixed* delay to the fast (lte) path, standing in for the
     # TWD daemon's adaptive value.
-    qdisc = NetemQdisc(setup.scheduler, delay_ns=delay_ms * NS_PER_MS, seed=55)
-    setup.a.devices["lte"].qdisc = qdisc
-    sender, receiver = make_connection(
-        setup.scheduler, setup.s1, setup.s2, "fc00:1::1", "fc00:2::2", 5000
-    )
+    setup.net.netem("A", "lte", delay_ns=delay_ms * NS_PER_MS, seed=55)
+    sender, receiver = setup.net.tcp("S1", "S2", port=5000)
     sender.start()
-    setup.scheduler.run(until_ns=6 * NS_PER_SEC)
+    setup.net.run(until_ns=6 * NS_PER_SEC)
     return receiver.goodput_bps()
 
 

@@ -20,9 +20,9 @@ import pytest
 
 from repro.bench import amortisation_stats
 from repro.ebpf import ArrayMap
-from repro.net import BpfLwt, EndDT6, Node, Seg6Encap, pton
+from repro.lab import Network
 from repro.progs import wrr_config_value, wrr_prog
-from repro.sim import CostModel, CpuQueue, FlowMeter, Link, Scheduler, UdpFlow, mbps
+from repro.sim import CostModel, mbps
 from repro.sim.scheduler import NS_PER_SEC
 
 PAYLOADS = (200, 400, 600, 800, 1000, 1200, 1400)
@@ -60,59 +60,41 @@ def classify(pkt, node):
     return "forward"
 
 
-def build(mode: str):
+def build(mode: str) -> Network:
     """S1 — A ==(2 x 1 Gb/s)== M(CPE) — S2, with the CPE CPU-bound."""
-    scheduler = Scheduler()
-    clock = scheduler.now_fn()
-    s1 = Node("S1", clock_ns=clock)
-    a = Node("A", clock_ns=clock)
-    m = Node("M", clock_ns=clock)
-    s2 = Node("S2", clock_ns=clock)
-    s1.add_device("eth0")
-    a.add_device("wan")
-    a.add_device("l0")
-    a.add_device("l1")
-    m.add_device("l0")
-    m.add_device("l1")
-    m.add_device("lan")
-    s2.add_device("eth0")
-    s1.add_address("fc00:1::1")
-    a.add_address("fc00:aa::1")
-    m.add_address("fc00:bb::1")
-    s2.add_address("fc00:2::2")
+    net = Network()
+    net.add_node("S1", addr="fc00:1::1")
+    net.add_node("A", addr="fc00:aa::1")
+    m = net.add_node("M", addr="fc00:bb::1")
+    net.add_node("S2", addr="fc00:2::2")
 
-    Link(scheduler, s1.devices["eth0"], a.devices["wan"], 10 * LINK_RATE, 10_000)
-    Link(scheduler, a.devices["l0"], m.devices["l0"], LINK_RATE, 10_000)
-    Link(scheduler, a.devices["l1"], m.devices["l1"], LINK_RATE, 10_000)
-    Link(scheduler, m.devices["lan"], s2.devices["eth0"], 10 * LINK_RATE, 10_000)
+    net.add_link("S1", "A", 10 * LINK_RATE, 10_000, dev_a="eth0", dev_b="wan")
+    net.add_link("A", "M", LINK_RATE, 10_000, dev_a="l0", dev_b="l0")
+    net.add_link("A", "M", LINK_RATE, 10_000, dev_a="l1", dev_b="l1")
+    net.add_link("M", "S2", 10 * LINK_RATE, 10_000, dev_a="lan", dev_b="eth0")
 
-    s1.add_route("::/0", via="fc00:aa::1", dev="eth0")
-    s2.add_route("::/0", via="fc00:bb::1", dev="eth0")
-    a.add_route("fc00:1::/64", via="fc00:1::1", dev="wan")
-    m.add_route("fc00:2::/64", via="fc00:2::2", dev="lan")
-    m.add_route("fc00:1::/64", via="fc00:aa::1", dev="l0")
+    net.config("S1", "route add ::/0 via fc00:aa::1 dev eth0")
+    net.config("S2", "route add ::/0 via fc00:bb::1 dev eth0")
+    net.config("A", "route add fc00:1::/64 via fc00:1::1 dev wan")
+    net.config("M", "route add fc00:2::/64 via fc00:2::2 dev lan")
+    net.config("M", "route add fc00:1::/64 via fc00:aa::1 dev l0")
 
     m.bench_mode = mode
-    m.cpu = CpuQueue(scheduler, scaled_cost_model(), m, queue_limit=200)
+    net.cpu("M", scaled_cost_model(), queue_limit=200)
 
     if mode == "ipv6_forward":
-        # A round-robins plain packets across both links by flow; a single
-        # flow sticks to one link, so use per-packet alternation via two
-        # /65-style halves is overkill — pin to ECMP over flows instead.
-        from repro.net import Nexthop
-
-        a.add_route(
-            "fc00:2::/64",
-            nexthops=[
-                Nexthop(via="fc00:bb::1", dev="l0"),
-                Nexthop(via="fc00:bb::1", dev="l1"),
-            ],
+        # A spreads plain packets across both links by flow: ECMP over
+        # the four generator flows (a single flow sticks to one link).
+        net.config(
+            "A",
+            "route add fc00:2::/64 "
+            "nexthop via fc00:bb::1 dev l0 nexthop via fc00:bb::1 dev l1",
         )
     elif mode == "kernel_decap":
         # Static seg6 encap at A, native End.DT6 decap at the CPE.
-        a.add_route("fc00:2::/64", encap=Seg6Encap(segments=[pton("fc00:bb::d0")]))
-        a.add_route("fc00:bb::d0/128", via="fc00:bb::1", dev="l0")
-        m.add_route("fc00:bb::d0/128", encap=EndDT6(table_id=254))
+        net.config("A", "route add fc00:2::/64 encap seg6 mode encap segs fc00:bb::d0")
+        net.config("A", "route add fc00:bb::d0/128 via fc00:bb::1 dev l0")
+        net.config("M", "route add fc00:bb::d0/128 encap seg6local action End.DT6 table 254")
     elif mode == "ebpf_wrr":
         # The CPE is also the WRR encapsulator (upstream direction in the
         # paper); model its eBPF cost on the downstream path by running
@@ -120,22 +102,23 @@ def build(mode: str):
         config = ArrayMap(f"f4cfg_{id(object())}", value_size=40, max_entries=1)
         state = ArrayMap(f"f4st_{id(object())}", value_size=16, max_entries=1)
         config.update(b"\x00" * 4, wrr_config_value("fc00:bb::d0", "fc00:bb::d1", 1, 1))
-        a.add_route("fc00:2::/64", encap=BpfLwt(prog_out=wrr_prog(config, state, jit=False)))
-        a.add_route("fc00:bb::d0/128", via="fc00:bb::1", dev="l0")
-        a.add_route("fc00:bb::d1/128", via="fc00:bb::1", dev="l1")
-        m.add_route("fc00:bb::d0/128", encap=EndDT6(table_id=254))
-        m.add_route("fc00:bb::d1/128", encap=EndDT6(table_id=254))
-    return scheduler, s1, s2, m
+        net.load("wrr_nojit", wrr_prog(config, state, jit=False))
+        net.config("A", "route add fc00:2::/64 encap bpf out obj wrr_nojit")
+        net.config("A", "route add fc00:bb::d0/128 via fc00:bb::1 dev l0")
+        net.config("A", "route add fc00:bb::d1/128 via fc00:bb::1 dev l1")
+        net.config("M", "route add fc00:bb::d0/128 encap seg6local action End.DT6 table 254")
+        net.config("M", "route add fc00:bb::d1/128 encap seg6local action End.DT6 table 254")
+    return net
 
 
 LAST_RUN_STATS: dict = {}  # amortisation counters of the most recent run
 
 
 def run_series(mode: str, payload: int) -> float:
-    scheduler, s1, s2, cpe = build(mode)
-    meter = FlowMeter()
-    s2.bind(meter.on_packet, proto=17, port=5201)
-    baseline = amortisation_stats(cpe, scheduler)
+    net = build(mode)
+    cpe = net["M"]
+    meter = net.sink("S2", port=5201)
+    baseline = amortisation_stats(cpe, net.scheduler)
     # Constant *packet* rate across payload sizes (iperf3 driven at a rate
     # beyond capacity): the CPE stays the bottleneck at every point.
     per_flow_rate = OFFERED_PPS / 4 * (payload + 48) * 8
@@ -143,8 +126,8 @@ def run_series(mode: str, payload: int) -> float:
     # CPE draining packet by packet, so the generators keep the finest
     # pacing grain the batch-native datapath offers.
     flows = [
-        UdpFlow(
-            scheduler, s1, "fc00:1::1", "fc00:2::2",
+        net.trafgen(
+            "S1", dst="fc00:2::2",
             rate_bps=per_flow_rate, payload_size=payload,
             src_port=40000 + i, flow_label=i,
         )
@@ -152,12 +135,12 @@ def run_series(mode: str, payload: int) -> float:
     ]
     for flow in flows:
         flow.start(duration_ns=DURATION_NS)
-    scheduler.run(until_ns=DURATION_NS + NS_PER_SEC // 5)
     LAST_RUN_STATS.clear()
-    # The CPE is the CPU-bound router Figure 4 is about; delta against the
-    # pre-run snapshot so each point records only its own amortisation.
-    LAST_RUN_STATS.update(amortisation_stats(cpe, scheduler, since=baseline))
-    return meter.goodput_bps() * SCALE  # report at the unscaled magnitude
+    with net.run(until_ns=DURATION_NS + NS_PER_SEC // 5):
+        # The CPE is the CPU-bound router Figure 4 is about; delta against
+        # the pre-run snapshot so each point records only its own run.
+        LAST_RUN_STATS.update(amortisation_stats(cpe, net.scheduler, since=baseline))
+        return meter.goodput_bps() * SCALE  # report at the unscaled magnitude
 
 
 @pytest.mark.parametrize("payload", PAYLOADS)

@@ -10,8 +10,8 @@ control-plane latency figure.
 
 import pytest
 
-from repro.net import Nexthop, Node, pton
-from repro.sim import Link, Scheduler
+from repro.lab import Network
+from repro.net import pton
 from repro.usecases import OampDaemon, SrTraceroute, install_end_oamp
 
 ADDR = {
@@ -27,61 +27,50 @@ SEG_R1 = "fc00:10::aa"
 SEG_R3 = "fc00:30::aa"
 
 
-def build():
+def build() -> Network:
     """A 3-way ECMP diamond with OAMP on the fan-out and fan-in routers."""
-    sched = Scheduler()
-    clock = sched.now_fn()
-    nodes = {name: Node(name, clock_ns=clock) for name in ADDR}
-    for name, node in nodes.items():
-        node.add_address(ADDR[name])
+    net = Network()
+    for name, addr in ADDR.items():
+        net.add_node(name, addr=addr)
 
-    def wire(n1, d1, n2, d2):
-        nodes[n1].add_device(d1)
-        nodes[n2].add_device(d2)
-        Link(sched, nodes[n1].devices[d1], nodes[n2].devices[d2], 1e9, 50_000)
-
-    wire("C", "eth0", "R1", "c")
+    net.add_link("C", "R1", 1e9, 50_000, dev_a="eth0", dev_b="c")
     for mid, dev in (("R2A", "a"), ("R2B", "b"), ("R2C", "d")):
-        wire("R1", dev, mid, "up")
-        wire(mid, "down", "R3", dev)
-    wire("R3", "t", "T", "eth0")
+        net.add_link("R1", mid, 1e9, 50_000, dev_a=dev, dev_b="up")
+        net.add_link(mid, "R3", 1e9, 50_000, dev_a="down", dev_b=dev)
+    net.add_link("R3", "T", 1e9, 50_000, dev_a="t", dev_b="eth0")
 
-    c, r1, r3, t = nodes["C"], nodes["R1"], nodes["R3"], nodes["T"]
-    mids = [nodes[n] for n in ("R2A", "R2B", "R2C")]
-
-    c.add_route("::/0", via=ADDR["R1"], dev="eth0")
-    r1.add_route(
-        "fc00:f::/64",
-        nexthops=[
-            Nexthop(via=ADDR["R2A"], dev="a"),
-            Nexthop(via=ADDR["R2B"], dev="b"),
-            Nexthop(via=ADDR["R2C"], dev="d"),
-        ],
+    net.config("C", f"route add ::/0 via {ADDR['R1']} dev eth0")
+    net.config(
+        "R1",
+        "route add fc00:f::/64 "
+        f"nexthop via {ADDR['R2A']} dev a "
+        f"nexthop via {ADDR['R2B']} dev b "
+        f"nexthop via {ADDR['R2C']} dev d",
     )
-    r1.add_route("fc00:c::/64", via=ADDR["C"], dev="c")
-    r1.add_route("fc00:30::/64", via=ADDR["R2A"], dev="a")
-    for mid in mids:
-        mid.add_route("fc00:f::/64", via=ADDR["R3"], dev="down")
-        mid.add_route("fc00:30::/64", via=ADDR["R3"], dev="down")
-        mid.add_route("fc00:c::/64", via=ADDR["R1"], dev="up")
-        mid.add_route("fc00:10::/64", via=ADDR["R1"], dev="up")
-    r3.add_route("fc00:f::/64", via=ADDR["T"], dev="t")
+    net.config("R1", f"route add fc00:c::/64 via {ADDR['C']} dev c")
+    net.config("R1", f"route add fc00:30::/64 via {ADDR['R2A']} dev a")
+    for mid in ("R2A", "R2B", "R2C"):
+        net.config(mid, f"route add fc00:f::/64 via {ADDR['R3']} dev down")
+        net.config(mid, f"route add fc00:30::/64 via {ADDR['R3']} dev down")
+        net.config(mid, f"route add fc00:c::/64 via {ADDR['R1']} dev up")
+        net.config(mid, f"route add fc00:10::/64 via {ADDR['R1']} dev up")
+    net.config("R3", f"route add fc00:f::/64 via {ADDR['T']} dev t")
     for back in ("fc00:c::/64", "fc00:10::/64"):
-        r3.add_route(back, via=ADDR["R2A"], dev="a")
-    t.add_route("::/0", via=ADDR["R3"], dev="eth0")
+        net.config("R3", f"route add {back} via {ADDR['R2A']} dev a")
+    net.config("T", f"route add ::/0 via {ADDR['R3']} dev eth0")
 
-    for router, seg in ((r1, SEG_R1), (r3, SEG_R3)):
-        events, _ = install_end_oamp(router, seg)
-        OampDaemon(router, events).start(sched)
-    return sched, c
+    for router, seg in (("R1", SEG_R1), ("R3", SEG_R3)):
+        events, _ = install_end_oamp(net[router], seg)
+        OampDaemon(net[router], events).start(net.scheduler)
+    return net
 
 
 def run_trace():
-    sched, client = build()
+    net = build()
     trace = SrTraceroute(
-        client,
+        net["C"],
         ADDR["T"],
-        sched,
+        net.scheduler,
         oamp_segments={
             pton(ADDR["R1"]): pton(SEG_R1),
             pton(ADDR["R3"]): pton(SEG_R3),

@@ -15,7 +15,7 @@ parallel connections do at least as well as one.
 
 import pytest
 
-from repro.sim import build_setup2, make_connection, mbps
+from repro.sim import build_setup2, mbps
 from repro.sim.scheduler import NS_PER_SEC
 from repro.usecases import deploy_hybrid_access
 
@@ -29,16 +29,11 @@ PAPER = {"disaster": 3.8, "compensated_x1": 68.0, "compensated_x4": 70.0}
 def run_tcp(compensation: bool, flows: int) -> float:
     setup = build_setup2()
     deploy_hybrid_access(setup, weights=(5, 3), compensation=compensation)
-    connections = [
-        make_connection(
-            setup.scheduler, setup.s1, setup.s2, "fc00:1::1", "fc00:2::2", 5000 + i
-        )
-        for i in range(flows)
-    ]
-    setup.scheduler.run(until_ns=WARMUP_NS)
+    connections = [setup.net.tcp("S1", "S2", port=5000 + i) for i in range(flows)]
+    setup.net.run(until_ns=WARMUP_NS)
     for sender, _ in connections:
         sender.start()
-    setup.scheduler.run(until_ns=WARMUP_NS + DURATION_NS)
+    setup.net.run(until_ns=WARMUP_NS + DURATION_NS)
     return sum(receiver.goodput_bps() for _s, receiver in connections)
 
 

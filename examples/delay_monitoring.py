@@ -16,14 +16,15 @@ path latency.
 Run:  python3 examples/delay_monitoring.py
 """
 
-from repro.sim import FlowMeter, Scheduler, UdpFlow, build_setup1, mbps
+from repro.lab import build_setup1
+from repro.sim import mbps
 from repro.sim.scheduler import NS_PER_MS, NS_PER_SEC
 from repro.usecases import deploy_owd_monitoring
 
 
 def main() -> None:
     setup = build_setup1()
-    scheduler = setup.scheduler
+    net = setup.net
 
     # Give the S1—R link a tangible latency so there is something to measure.
     for endpoint in (setup.links[0].a_to_b, setup.links[0].b_to_a):
@@ -42,17 +43,14 @@ def main() -> None:
         dev="eth0",
     )
     # The tail must still be reachable: routes for the DM segment.
-    setup.r.add_route(f"{dm_segment}/128", via="fc00:2::2", dev="eth1")
-    handles.daemon.start(scheduler, interval_ns=5 * NS_PER_MS)
+    net.config("R", f"ip -6 route add {dm_segment}/128 via fc00:2::2 dev eth1")
+    handles.daemon.start(net.scheduler, interval_ns=5 * NS_PER_MS)
 
     # Sink + traffic: 200 Mb/s of plain IPv6 UDP for one second.
-    meter = FlowMeter("sink")
-    setup.s2.bind(meter.on_packet, proto=17, port=5201)
-    flow = UdpFlow(
-        scheduler, setup.s1, "fc00:1::1", "fc00:2::2", rate_bps=200e6, payload_size=512
-    )
+    meter = net.sink("S2", port=5201, name="sink")
+    flow = net.trafgen("S1", dst="fc00:2::2", rate_bps=200e6, payload_size=512)
     flow.start(duration_ns=NS_PER_SEC)
-    scheduler.run(until_ns=int(1.2 * NS_PER_SEC))
+    net.run(until_ns=int(1.2 * NS_PER_SEC))
 
     samples = handles.collector.samples
     print(f"traffic: {flow.stats.sent} packets sent, "

@@ -16,8 +16,8 @@ back to plain ICMP elsewhere.
 Run:  python3 examples/ecmp_traceroute.py
 """
 
-from repro.net import Nexthop, Node, pton
-from repro.sim import Link, Scheduler
+from repro.lab import Network
+from repro.net import pton
 from repro.usecases import OampDaemon, SrTraceroute, install_end_oamp
 
 ADDR = {
@@ -31,62 +31,58 @@ ADDR = {
 OAMP_SEG = {"R1": "fc00:10::aa", "R3": "fc00:30::aa"}
 
 
-def build():
-    scheduler = Scheduler()
-    clock = scheduler.now_fn()
-    nodes = {name: Node(name, clock_ns=clock) for name in ADDR}
-    for name, node in nodes.items():
-        node.add_address(ADDR[name])
+def build() -> Network:
+    net = Network()
+    for name, addr in ADDR.items():
+        net.add_node(name, addr=addr)
 
-    def wire(n1, d1, n2, d2):
-        nodes[n1].add_device(d1)
-        nodes[n2].add_device(d2)
-        Link(scheduler, nodes[n1].devices[d1], nodes[n2].devices[d2], 1e9, 100_000)
+    for n1, d1, n2, d2 in (
+        ("C", "eth0", "R1", "c"),
+        ("R1", "a", "R2A", "up"),
+        ("R1", "b", "R2B", "up"),
+        ("R2A", "down", "R3", "a"),
+        ("R2B", "down", "R3", "b"),
+        ("R3", "t", "T", "eth0"),
+    ):
+        net.add_link(n1, n2, 1e9, 100_000, dev_a=d1, dev_b=d2)
 
-    wire("C", "eth0", "R1", "c")
-    wire("R1", "a", "R2A", "up")
-    wire("R1", "b", "R2B", "up")
-    wire("R2A", "down", "R3", "a")
-    wire("R2B", "down", "R3", "b")
-    wire("R3", "t", "T", "eth0")
-
-    c, r1, r2a, r2b, r3, t = (nodes[n] for n in ("C", "R1", "R2A", "R2B", "R3", "T"))
-    c.add_route("::/0", via=ADDR["R1"], dev="eth0")
+    net.config("C", f"route add ::/0 via {ADDR['R1']} dev eth0")
     # R1 load-balances toward the target over both middle routers.
-    r1.add_route(
-        "fc00:f::/64",
-        nexthops=[Nexthop(via=ADDR["R2A"], dev="a"), Nexthop(via=ADDR["R2B"], dev="b")],
+    net.config(
+        "R1",
+        "route add fc00:f::/64 "
+        f"nexthop via {ADDR['R2A']} dev a nexthop via {ADDR['R2B']} dev b",
     )
-    r1.add_route("fc00:c::/64", via=ADDR["C"], dev="c")
-    r1.add_route("fc00:2a::/64", via=ADDR["R2A"], dev="a")
-    r1.add_route("fc00:2b::/64", via=ADDR["R2B"], dev="b")
-    r1.add_route("fc00:30::/64", via=ADDR["R2A"], dev="a")
-    for r2 in (r2a, r2b):
-        r2.add_route("fc00:f::/64", via=ADDR["R3"], dev="down")
-        r2.add_route("fc00:30::/64", via=ADDR["R3"], dev="down")
+    net.config("R1", f"route add fc00:c::/64 via {ADDR['C']} dev c")
+    net.config("R1", f"route add fc00:2a::/64 via {ADDR['R2A']} dev a")
+    net.config("R1", f"route add fc00:2b::/64 via {ADDR['R2B']} dev b")
+    net.config("R1", f"route add fc00:30::/64 via {ADDR['R2A']} dev a")
+    for r2 in ("R2A", "R2B"):
+        net.config(r2, f"route add fc00:f::/64 via {ADDR['R3']} dev down")
+        net.config(r2, f"route add fc00:30::/64 via {ADDR['R3']} dev down")
         for back in ("fc00:c::/64", "fc00:10::/64"):
-            r2.add_route(back, via=ADDR["R1"], dev="up")
-    r3.add_route("fc00:f::/64", via=ADDR["T"], dev="t")
-    r3.add_route("fc00:2a::/64", via=ADDR["R2A"], dev="a")
-    r3.add_route("fc00:2b::/64", via=ADDR["R2B"], dev="b")
+            net.config(r2, f"route add {back} via {ADDR['R1']} dev up")
+    net.config("R3", f"route add fc00:f::/64 via {ADDR['T']} dev t")
+    net.config("R3", f"route add fc00:2a::/64 via {ADDR['R2A']} dev a")
+    net.config("R3", f"route add fc00:2b::/64 via {ADDR['R2B']} dev b")
     for back in ("fc00:c::/64", "fc00:10::/64"):
-        r3.add_route(back, via=ADDR["R2A"], dev="a")
-    t.add_route("::/0", via=ADDR["R3"], dev="eth0")
+        net.config("R3", f"route add {back} via {ADDR['R2A']} dev a")
+    net.config("T", f"route add ::/0 via {ADDR['R3']} dev eth0")
 
     # Install End.OAMP + its relay daemon on R1 and R3.
-    for name, router in (("R1", r1), ("R3", r3)):
-        events, _action = install_end_oamp(router, OAMP_SEG[name])
-        OampDaemon(router, events).start(scheduler)
+    for name in ("R1", "R3"):
+        events, _action = install_end_oamp(net[name], OAMP_SEG[name])
+        OampDaemon(net[name], events).start(net.scheduler)
 
-    return scheduler, c
+    return net
 
 
 def main() -> None:
-    scheduler, client = build()
+    net = build()
     trace = SrTraceroute(
-        client,
+        net["C"],
         ADDR["T"],
-        scheduler,
+        net.scheduler,
         oamp_segments={pton(ADDR[n]): pton(OAMP_SEG[n]) for n in OAMP_SEG},
     )
     print(f"traceroute to {ADDR['T']} (SRv6 End.OAMP where available)\n")

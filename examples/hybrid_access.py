@@ -14,7 +14,8 @@ Reproduces the section's storyline on the paper's setup 2 topology
 Run:  python3 examples/hybrid_access.py        (~1 minute)
 """
 
-from repro.sim import build_setup2, make_connection, mbps, FlowMeter, UdpFlow
+from repro.lab import build_setup2
+from repro.sim import mbps
 from repro.sim.scheduler import NS_PER_SEC
 from repro.usecases import deploy_hybrid_access
 
@@ -24,15 +25,12 @@ DURATION_S = 8
 
 def run_udp() -> None:
     setup = build_setup2()
+    net = setup.net
     hybrid = deploy_hybrid_access(setup, weights=(5, 3))
-    meter = FlowMeter("client")
-    setup.s2.bind(meter.on_packet, proto=17, port=5201)
-    flow = UdpFlow(
-        setup.scheduler, setup.s1, "fc00:1::1", "fc00:2::2",
-        rate_bps=200e6, payload_size=1400,
-    )
+    meter = net.sink("S2", port=5201, name="client")
+    flow = net.trafgen("S1", dst="fc00:2::2", rate_bps=200e6, payload_size=1400)
     flow.start(duration_ns=2 * NS_PER_SEC)
-    setup.scheduler.run(until_ns=int(2.5 * NS_PER_SEC))
+    net.run(until_ns=int(2.5 * NS_PER_SEC))
     c0, c1, pkts0, pkts1 = hybrid.wrr_down.counters()
     print(f"UDP over the bond:  {mbps(meter.goodput_bps()):5.1f} Mb/s goodput "
           f"(80 Mb/s aggregate)")
@@ -42,18 +40,14 @@ def run_udp() -> None:
 
 def run_tcp(compensation: bool, flows: int) -> float:
     setup = build_setup2()
+    net = setup.net
     hybrid = deploy_hybrid_access(setup, weights=(5, 3), compensation=compensation)
-    connections = [
-        make_connection(
-            setup.scheduler, setup.s1, setup.s2, "fc00:1::1", "fc00:2::2", 5000 + i
-        )
-        for i in range(flows)
-    ]
+    connections = [net.tcp("S1", "S2", port=5000 + i) for i in range(flows)]
     # Let the TWD daemon converge before starting the flows.
-    setup.scheduler.run(until_ns=WARMUP_S * NS_PER_SEC)
+    net.run(until_ns=WARMUP_S * NS_PER_SEC)
     for sender, _receiver in connections:
         sender.start()
-    setup.scheduler.run(until_ns=(WARMUP_S + DURATION_S) * NS_PER_SEC)
+    net.run(until_ns=(WARMUP_S + DURATION_S) * NS_PER_SEC)
     total = sum(mbps(receiver.goodput_bps()) for _s, receiver in connections)
 
     label = "with delay compensation" if compensation else "no compensation  "

@@ -13,10 +13,9 @@ Run:  python3 examples/quickstart.py
 """
 
 from repro.ebpf import ArrayMap, Program, disassemble
+from repro.lab import Network
 from repro.net import (
     SEG6LOCAL_HELPERS,
-    EndBPF,
-    Node,
     make_srv6_udp_packet,
     ntop,
 )
@@ -64,13 +63,18 @@ def main() -> None:
     print("--- disassembly ---")
     print(disassemble(prog.insns))
 
-    # 2. Build a router and bind the program to a local segment.
-    router = Node("R")
-    router.add_device("eth0")
-    router.add_device("eth1")
-    router.add_address("fc00:e::1")
-    router.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
-    router.add_route("fc00:e::100/128", encap=EndBPF(prog))
+    # 2. Build a router with the declarative builder and bind the program
+    #    to a local segment through the iproute2-style config plane —
+    #    the same command an operator would type on the paper's testbed.
+    net = Network()
+    router = net.add_node("R", addr="fc00:e::1", devices=("eth0", "eth1"))
+    net.load("count_by_tag", prog)
+    net.config("R", "ip -6 route add fc00:2::/64 via fc00:2::1 dev eth1")
+    net.config(
+        "R",
+        "ip -6 route add fc00:e::100/128 "
+        "encap seg6local action End.BPF endpoint obj count_by_tag",
+    )
     print("installed End.BPF at fc00:e::100")
 
     # 3. Send SRv6 packets through segment fc00:e::100 toward fc00:2::2.

@@ -19,14 +19,10 @@ Run:  python3 examples/service_chaining.py
 """
 
 from repro.ebpf import ArrayMap, HashMap, Program
+from repro.lab import Network
 from repro.net import (
-    EndBPF,
-    Node,
     SEG6LOCAL_HELPERS,
-    Seg6Encap,
     make_udp_packet,
-    ntop,
-    pton,
 )
 
 FW_SEG = "fc00:f1::bbbb"
@@ -90,41 +86,38 @@ out:
 
 
 def build():
-    ingress = Node("ingress")
-    fw = Node("fw")
-    ctr = Node("ctr")
-    for node, devs in ((ingress, 2), (fw, 2), (ctr, 2)):
-        node.add_device("in")
-        node.add_device("out")
-    ingress.add_address("fc00:10::1")
-    fw.add_address("fc00:f1::1")
-    ctr.add_address("fc00:f2::1")
+    net = Network()
+    ingress = net.add_node("ingress", addr="fc00:10::1", devices=("in", "out"))
+    fw = net.add_node("fw", addr="fc00:f1::1", devices=("in", "out"))
+    ctr = net.add_node("ctr", addr="fc00:f2::1", devices=("in", "out"))
 
-    # Ingress steers server-bound traffic through the chain.
-    ingress.add_route(
-        "fc00:99::/64",
-        encap=Seg6Encap(segments=[pton(FW_SEG), pton(CTR_SEG), pton(DECAP_SEG)]),
+    # Ingress steers server-bound traffic through the chain: an SRv6
+    # policy declared in the operator syntax, via the config plane.
+    net.config(
+        "ingress",
+        f"route add fc00:99::/64 encap seg6 mode encap segs {FW_SEG},{CTR_SEG},{DECAP_SEG}",
     )
-    ingress.add_route(f"{FW_SEG}/128", via="fc00:f1::1", dev="out")
+    net.config("ingress", f"route add {FW_SEG}/128 via fc00:f1::1 dev out")
 
     blocklist = HashMap("blocklist", key_size=2, value_size=1, max_entries=64)
-    fw_prog = Program(
+    net.load("sfc_firewall", Program(
         FIREWALL_ASM, maps={"blocklist": blocklist},
         name="sfc_firewall", allowed_helpers=SEG6LOCAL_HELPERS,
+    ))
+    net.config(
+        "fw",
+        f"route add {FW_SEG}/128 encap seg6local action End.BPF endpoint obj sfc_firewall",
     )
-    fw.add_route(f"{FW_SEG}/128", encap=EndBPF(fw_prog))
-    fw.add_route(f"{CTR_SEG}/128", via="fc00:f2::1", dev="out")
+    net.config("fw", f"route add {CTR_SEG}/128 via fc00:f2::1 dev out")
 
     flow_counts = ArrayMap("flow_counts", value_size=8, max_entries=8)
     ctr_prog = Program(
         COUNTER_ASM, maps={"flow_counts": flow_counts},
         name="sfc_counter", allowed_helpers=SEG6LOCAL_HELPERS,
     )
-    ctr.add_route(f"{CTR_SEG}/128", encap=EndBPF(ctr_prog))
-    from repro.net import EndDT6
-
-    ctr.add_route(f"{DECAP_SEG}/128", encap=EndDT6(table_id=254))
-    ctr.add_route("fc00:99::/64", via="fc00:99::2", dev="out")
+    net.attach("ctr", CTR_SEG, ctr_prog)  # programmatic twin of the config form
+    net.config("ctr", f"route add {DECAP_SEG}/128 encap seg6local action End.DT6 table 254")
+    net.config("ctr", "route add fc00:99::/64 via fc00:99::2 dev out")
     return ingress, fw, ctr, blocklist, flow_counts
 
 

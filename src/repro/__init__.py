@@ -11,6 +11,8 @@ The package provides, in pure Python:
   ``End.BPF`` action, and the SRv6 eBPF helpers);
 * :mod:`repro.sim` — a discrete-event network simulator (links, netem,
   traffic generators, a reordering-sensitive TCP);
+* :mod:`repro.lab` — the declarative network builder (topology, config
+  plane, experiment runs) every scenario is constructed through;
 * :mod:`repro.userspace` — perf-event consumption and a bcc-like
   front-end;
 * :mod:`repro.usecases` — the paper's three applications: passive delay
@@ -20,6 +22,9 @@ The package provides, in pure Python:
 
 __version__ = "1.0.0"
 
-from . import ebpf, net, progs, sim, usecases, userspace
+# sim before lab: repro.sim.topology re-exports the lab-built setups, so
+# importing sim pulls repro.lab in with the sim submodules already loaded.
+from . import ebpf, net, progs, sim
+from . import lab, usecases, userspace
 
-__all__ = ["ebpf", "net", "progs", "sim", "usecases", "userspace", "__version__"]
+__all__ = ["ebpf", "lab", "net", "progs", "sim", "usecases", "userspace", "__version__"]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..ebpf import Program
 from ..ebpf.jit import handler_cache_stats
+from ..lab import Network
 from ..net import End, EndBPF, EndT, Node, Packet
 from ..progs import add_tlv_prog, end_prog, end_t_prog, tag_increment_prog
 from ..sim.trafgen import batch_srv6_udp, batch_udp
@@ -25,13 +26,17 @@ BATCH_SIZE = 256
 
 
 def make_router() -> Node:
-    """The router-under-test (R in setup 1), with a sink route."""
-    node = Node("R", clock_ns=lambda: 0)
-    node.add_device("eth0")
-    node.add_device("eth1")
-    node.add_address("fc00:e::1")
-    node.add_route("fc00:1::/64", via="fc00:1::1", dev="eth0")
-    node.add_route(SINK_PREFIX, via=SINK_ADDR, dev="eth1")
+    """The router-under-test (R in setup 1), with a sink route.
+
+    Built through the declarative builder with detached devices: the
+    direct-datapath microbenchmarks push batches straight into the node
+    and read ``eth1``'s ``tx_buffer``, bypassing the event loop (the
+    builder's never-run scheduler keeps the clock at 0).
+    """
+    net = Network()
+    node = net.add_node("R", addr="fc00:e::1", devices=("eth0", "eth1"))
+    net.config("R", "ip -6 route add fc00:1::/64 via fc00:1::1 dev eth0")
+    net.config("R", f"ip -6 route add {SINK_PREFIX} via {SINK_ADDR} dev eth1")
     return node
 
 

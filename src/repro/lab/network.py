@@ -1,0 +1,400 @@
+"""The declarative network builder: topology, config plane, experiment runs.
+
+:class:`Network` is the one sanctioned way to construct a scenario.  It
+owns the :class:`~repro.sim.scheduler.Scheduler`, creates nodes and
+devices, wires :class:`~repro.sim.link.Link`/:class:`~repro.sim.netem.NetemQdisc`/
+:class:`~repro.sim.cpu.CpuQueue` objects onto it, and routes *all*
+configuration through the :class:`~repro.net.iproute.IpRoute` textual
+front-end — the same ``ip -6 route`` syntax an operator would type on
+the paper's testbed.  The mininet ``Topo.build()`` idiom
+(``addHost``/``addLink(bw=, delay=, loss=)``) is the model: scenario
+construction is a handful of declarative calls, not twenty lines of
+``add_device``/``add_route`` plumbing.
+
+    net = Network(seed=7)
+    net.add_node("S1", addr="fc00:1::1")
+    net.add_node("R", addr="fc00:e::1")
+    net.add_link("S1", "R", rate_bps=10e9, delay_ns=5000)
+    net.config("S1", "ip -6 route add ::/0 via fc00:e::1 dev eth0")
+    net.attach("R", "fc00:e::100", EndBPF(prog))
+    flow = net.trafgen("S1", dst="fc00:2::2", rate_bps=100e6)
+    meter = net.sink("S2")
+    flow.start(duration_ns=NS_PER_SEC)
+    with net.run(until_ns=2 * NS_PER_SEC):
+        print(meter.goodput_bps())
+
+``Network(seed=N)`` makes a run bit-reproducible end to end: every
+node RNG (eBPF ``get_prandom_u32``), netem jitter/loss draw, traffic
+generator RNG and ECMP hash salt is derived deterministically from the
+one experiment seed.  With ``seed=None`` components fall back to their
+own deterministic defaults (unsalted ECMP, per-name node seeds), which
+keeps a builder-made network byte-identical to hand-wired code.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+from ..ebpf import Program
+from ..net.addr import as_addr, ntop
+from ..net.iproute import IpRoute, register_object
+from ..net.ipv6 import PROTO_UDP
+from ..net.node import Node
+from ..net.seg6local import Seg6LocalAction
+from ..sim.cpu import CostModel, CpuQueue
+from ..sim.link import Link
+from ..sim.netem import NetemQdisc
+from ..sim.scheduler import Scheduler
+from ..sim.stats import FlowMeter
+from ..sim.tcp import TcpReceiver, TcpSender, make_connection
+from ..sim.trafgen import Srv6UdpFlood, UdpFlow
+
+
+class RunResult(int):
+    """Executed-event count that also closes a ``with net.run(...)`` block.
+
+    ``net.run()`` drives the scheduler eagerly and returns this: use it
+    as a plain ``int`` (events executed), or as a context manager for
+    the scoped-readout style — the horizon has been reached when the
+    block body runs, so the block reads results at a well-defined
+    simulated instant::
+
+        with net.run(until_ns=NS_PER_SEC) as executed:
+            print(meter.goodput_bps(), "after", int(executed), "events")
+    """
+
+    def __enter__(self) -> "RunResult":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+class Network:
+    """Declarative builder for nodes, links, config and experiment runs."""
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        objects: dict[str, Program] | None = None,
+    ):
+        self.seed = seed
+        self.scheduler = Scheduler()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self.qdiscs: dict[tuple[str, str], NetemQdisc] = {}  # (node, dev)
+        self.flows: list[UdpFlow] = []
+        self.meters: list[FlowMeter] = []
+        # eBPF object registry shared (by reference) with every node's
+        # IpRoute plane: net.load() makes a program configurable by name.
+        self.objects: dict[str, Program] = dict(objects or {})
+        self._planes: dict[str, IpRoute] = {}
+        self._auto_addr = 0
+
+    # -- seed derivation -------------------------------------------------------
+    def derive_seed(self, *key) -> int | None:
+        """A stable per-component seed from the experiment seed.
+
+        Returns None when the network has no seed, so components keep
+        their own deterministic defaults.  The full experiment seed is
+        mixed into the digest (not masked), so seeds differing only in
+        high bits derive distinct experiments.
+        """
+        if self.seed is None:
+            return None
+        return zlib.crc32(repr((self.seed,) + key).encode())
+
+    # -- lookup ----------------------------------------------------------------
+    def node(self, ref: "Node | str") -> Node:
+        """Resolve a node by name (or pass a Node through)."""
+        if isinstance(ref, Node):
+            return ref
+        try:
+            return self.nodes[ref]
+        except KeyError:
+            raise KeyError(f"no node named {ref!r} in this network") from None
+
+    def __getitem__(self, name: str) -> Node:
+        return self.node(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    @property
+    def now_ns(self) -> int:
+        return self.scheduler.now_ns
+
+    # -- topology --------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        addr: "str | bytes | Iterable[str | bytes] | None" = None,
+        *,
+        devices: Iterable[str] = (),
+        cpu: CostModel | None = None,
+        cpu_queue_limit: int = 1000,
+        seed: int | None = None,
+    ) -> Node:
+        """Create a node on the shared scheduler clock.
+
+        ``addr`` assigns local addresses: a single address, an iterable,
+        or None to auto-assign a unique ``fd00::/16`` address (pass an
+        empty tuple for an address-less node).  ``devices`` pre-creates
+        named detached devices (useful for single-node datapath tests
+        that read ``tx_buffer`` directly); link-facing devices are
+        normally auto-created by :meth:`add_link`.  ``cpu`` attaches a
+        :class:`~repro.sim.cpu.CpuQueue` with the given cost model.
+        """
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node_seed = seed if seed is not None else self.derive_seed("node", name)
+        node = Node(name, clock_ns=self.scheduler.now_fn(), seed=node_seed)
+        ecmp_seed = self.derive_seed("ecmp", name)
+        if ecmp_seed is not None:
+            node.ecmp_seed = ecmp_seed
+        self.nodes[name] = node
+        for dev in devices:
+            node.add_device(dev)
+        if addr is None:
+            self._auto_addr += 1
+            addr = f"fd00::{self._auto_addr:x}"
+        addrs = [addr] if isinstance(addr, (str, bytes)) else list(addr)
+        for one in addrs:
+            node.add_address(one)
+        if cpu is not None:
+            node.cpu = CpuQueue(self.scheduler, cpu, node, queue_limit=cpu_queue_limit)
+        return node
+
+    def _next_dev_name(self, node: Node) -> str:
+        n = 0
+        while f"eth{n}" in node.devices:
+            n += 1
+        return f"eth{n}"
+
+    def add_link(
+        self,
+        a: "Node | str",
+        b: "Node | str",
+        rate_bps: float = 10e9,
+        delay_ns: int = 1000,
+        *,
+        jitter_ns: int = 0,
+        loss: float = 0.0,
+        netem: "dict | tuple[dict | None, dict | None] | None" = None,
+        queue_limit: int | None = 1000,
+        dev_a: str | None = None,
+        dev_b: str | None = None,
+    ) -> Link:
+        """Wire a bidirectional link, auto-creating a device on each end.
+
+        Devices are named ``eth0``, ``eth1``, … per node unless
+        ``dev_a``/``dev_b`` name them (``wan``, ``dsl``, …).
+
+        Shaping follows the mininet ``addLink(bw=, delay=, loss=)``
+        idiom: ``jitter_ns``/``loss`` attach a netem qdisc to *both*
+        directions, and the propagation delay moves into the netem so
+        the mean latency stays ``delay_ns`` with ±``jitter_ns`` of
+        spread.  For asymmetric or fully explicit shaping pass
+        ``netem=`` — a dict of :class:`~repro.sim.netem.NetemQdisc`
+        keyword arguments applied to both directions, or a
+        ``(a_egress, b_egress)`` tuple of dicts/None.  Netem RNG seeds
+        are derived from the experiment seed unless the dict names one.
+        """
+        node_a, node_b = self.node(a), self.node(b)
+        da = node_a.add_device(dev_a or self._next_dev_name(node_a))
+        db = node_b.add_device(dev_b or self._next_dev_name(node_b))
+        shape_a = shape_b = None
+        if netem is not None:
+            if jitter_ns or loss:
+                raise ValueError(
+                    "pass shaping either as jitter_ns/loss shorthand or as "
+                    "an explicit netem= spec, not both"
+                )
+            if isinstance(netem, dict):
+                shape_a, shape_b = dict(netem), dict(netem)
+            else:
+                one, two = netem
+                shape_a = dict(one) if one is not None else None
+                shape_b = dict(two) if two is not None else None
+        elif jitter_ns or loss:
+            shaped = {"delay_ns": delay_ns, "jitter_ns": jitter_ns, "loss": loss}
+            shape_a, shape_b = dict(shaped), dict(shaped)
+            delay_ns = 0  # the netem carries the latency budget
+        link = Link(self.scheduler, da, db, rate_bps, delay_ns, queue_limit)
+        self.links.append(link)
+        if shape_a is not None:
+            self.netem(node_a, da.name, **shape_a)
+        if shape_b is not None:
+            self.netem(node_b, db.name, **shape_b)
+        return link
+
+    def netem(self, node: "Node | str", dev: str, **kwargs) -> NetemQdisc:
+        """Attach a netem qdisc to one device's egress (``tc qdisc add``).
+
+        Accepts :class:`~repro.sim.netem.NetemQdisc` keyword arguments
+        (``rate_bps``, ``delay_ns``, ``jitter_ns``, ``loss``,
+        ``ordered``, ``seed``, …).  The RNG seed, unless given, is
+        derived from the experiment seed and the (node, device) pair —
+        distinct per qdisc, reproducible per run.
+        """
+        target = self.node(node)
+        if dev not in target.devices:
+            raise KeyError(f"{target.name}: no device {dev!r}")
+        if "seed" not in kwargs:
+            derived = self.derive_seed("netem", target.name, dev)
+            kwargs["seed"] = (
+                derived
+                if derived is not None
+                else zlib.crc32(f"{target.name}/{dev}".encode())
+            )
+        qdisc = NetemQdisc(self.scheduler, **kwargs)
+        target.devices[dev].qdisc = qdisc
+        self.qdiscs[(target.name, dev)] = qdisc
+        return qdisc
+
+    def cpu(
+        self, node: "Node | str", model: CostModel, queue_limit: int = 1000
+    ) -> CpuQueue:
+        """Attach a CPU cost model to an existing node (replaces any)."""
+        target = self.node(node)
+        target.cpu = CpuQueue(self.scheduler, model, target, queue_limit=queue_limit)
+        return target.cpu
+
+    # -- configuration plane ----------------------------------------------------
+    def load(self, name: str, program: Program) -> Program:
+        """Register an eBPF object so ``config`` can reference ``obj <name>``."""
+        self.objects[name] = program
+        return program
+
+    def plane(self, node: "Node | str") -> IpRoute:
+        """The node's ``ip -6`` configuration plane (created on first use)."""
+        target = self.node(node)
+        if target.name not in self._planes:
+            self._planes[target.name] = IpRoute(target, self.objects)
+        return self._planes[target.name]
+
+    def config(self, node: "Node | str", command: str):
+        """Apply one iproute2-style command to a node.
+
+        Accepts the full operator syntax (``ip -6 route add …``,
+        ``ip -6 route del/replace/show``, ``ip -6 addr add …``) or the
+        same with the ``ip -6`` prefix omitted.  This is the *only*
+        configuration door the builder offers: everything an experiment
+        sets up is expressible — and replayable — as the commands an
+        operator would type on the paper's testbed.
+        """
+        return self.plane(node).execute(command)
+
+    def attach(
+        self, node: "Node | str", segment: str | bytes, action: "Seg6LocalAction | Program"
+    ):
+        """Install a seg6local action (e.g. ``EndBPF(prog)``) on a local segment.
+
+        A bare :class:`~repro.ebpf.program.Program` is wrapped in
+        ``End.BPF``, matching the paper's deployment unit (§3).  An
+        ``End.BPF`` program is auto-registered in the object registry,
+        so ``route show`` output names it and replays.
+        """
+        from ..net.seg6local import EndBPF
+
+        if isinstance(action, Program):
+            action = EndBPF(action)
+        if not isinstance(action, Seg6LocalAction):
+            raise TypeError(
+                "attach() expects a Seg6LocalAction or a Program, "
+                f"got {type(action).__name__}"
+            )
+        if isinstance(action, EndBPF):
+            self._register_program(action.program)
+        target = self.node(node)
+        return target.add_route(f"{ntop(as_addr(segment))}/128", encap=action)
+
+    def _register_program(self, program: Program) -> str:
+        """Ensure ``program`` is in the object registry; return its name."""
+        return register_object(self.objects, program)
+
+    # -- workload --------------------------------------------------------------
+    def trafgen(
+        self,
+        node: "Node | str",
+        dst: str | bytes | None = None,
+        *,
+        path: list | None = None,
+        rate_bps: float = 100e6,
+        payload_size: int = 1400,
+        src: str | bytes | None = None,
+        **kwargs,
+    ) -> UdpFlow:
+        """Create a constant-rate UDP generator on a node.
+
+        ``dst`` makes an iperf3-style plain-IPv6 flow
+        (:class:`~repro.sim.trafgen.UdpFlow`); ``path`` makes a
+        trafgen-style SRv6 flood through a segment list
+        (:class:`~repro.sim.trafgen.Srv6UdpFlood`).  The generator's RNG
+        is derived from the experiment seed.  Call ``.start()`` to begin.
+        """
+        source = self.node(node)
+        src = src if src is not None else ntop(source.primary_address())
+        rng_seed = self.derive_seed("trafgen", source.name, len(self.flows))
+        if rng_seed is not None and "seed" not in kwargs:
+            kwargs["seed"] = rng_seed
+        if (dst is None) == (path is None):
+            raise ValueError("trafgen needs exactly one of dst= or path=")
+        if path is not None:
+            flow = Srv6UdpFlood(
+                self.scheduler, source, src, path, rate_bps, payload_size, **kwargs
+            )
+        else:
+            flow = UdpFlow(
+                self.scheduler, source, src, dst, rate_bps, payload_size, **kwargs
+            )
+        self.flows.append(flow)
+        return flow
+
+    def sink(
+        self,
+        node: "Node | str",
+        port: int | None = 5201,
+        proto: int = PROTO_UDP,
+        name: str | None = None,
+    ) -> FlowMeter:
+        """Bind a :class:`~repro.sim.stats.FlowMeter` listener on a node."""
+        target = self.node(node)
+        meter = FlowMeter(name or f"{target.name}:{port}")
+        target.bind(meter.on_packet, proto=proto, port=port)
+        self.meters.append(meter)
+        return meter
+
+    def tcp(
+        self,
+        sender: "Node | str",
+        receiver: "Node | str",
+        src: str | bytes | None = None,
+        dst: str | bytes | None = None,
+        port: int = 5000,
+        **sender_kwargs,
+    ) -> tuple[TcpSender, TcpReceiver]:
+        """Wire a TCP sender/receiver pair between two nodes."""
+        snd, rcv = self.node(sender), self.node(receiver)
+        src = src if src is not None else ntop(snd.primary_address())
+        dst = dst if dst is not None else ntop(rcv.primary_address())
+        return make_connection(self.scheduler, snd, rcv, src, dst, port, **sender_kwargs)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self, until_ns: int | None = None, max_events: int | None = None
+    ) -> RunResult:
+        """Drive the event loop to the horizon (or until the heap drains).
+
+        Returns the executed-event count as a :class:`RunResult`, which
+        doubles as a context manager for the scoped-readout style.
+        """
+        executed = self.scheduler.run(until_ns=until_ns, max_events=max_events)
+        return RunResult(executed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network nodes={list(self.nodes)} links={len(self.links)} "
+            f"seed={self.seed}>"
+        )

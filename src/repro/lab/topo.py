@@ -1,0 +1,83 @@
+"""Reusable topology classes, in the mininet ``Topo.build()`` idiom.
+
+Subclass :class:`Topo`, override :meth:`Topo.build`, and declare the
+scenario with the builder calls::
+
+    class Diamond(Topo):
+        def build(self, paths: int = 2):
+            self.add_node("C", addr="fc00:c::1")
+            self.add_node("T", addr="fc00:f::1")
+            ...
+
+    topo = Diamond(paths=3, seed=7)
+    topo.net.run(until_ns=NS_PER_SEC)
+
+Constructor keyword arguments are forwarded to ``build()``, so a
+topology class doubles as a parameterised scenario family — the same
+shape mininet gave real testbeds.
+"""
+
+from __future__ import annotations
+
+from .network import Network
+
+
+class Topo:
+    """Base class: owns (or receives) a :class:`Network` and builds into it."""
+
+    def __init__(self, net: Network | None = None, *, seed: int | None = None, **params):
+        if net is not None and seed is not None:
+            raise ValueError(
+                "pass either an existing net= (which carries its own seed) "
+                "or seed= for a fresh Network, not both"
+            )
+        self.net = net if net is not None else Network(seed=seed)
+        self.params = dict(params)
+        self.build(**params)
+
+    def build(self, **params) -> None:
+        """Override: declare nodes, links and config for this topology."""
+
+    # -- builder delegates, so build() bodies read declaratively ---------------
+    def add_node(self, *args, **kwargs):
+        return self.net.add_node(*args, **kwargs)
+
+    def add_link(self, *args, **kwargs):
+        return self.net.add_link(*args, **kwargs)
+
+    def netem(self, *args, **kwargs):
+        return self.net.netem(*args, **kwargs)
+
+    def cpu(self, *args, **kwargs):
+        return self.net.cpu(*args, **kwargs)
+
+    def config(self, *args, **kwargs):
+        return self.net.config(*args, **kwargs)
+
+    def attach(self, *args, **kwargs):
+        return self.net.attach(*args, **kwargs)
+
+    def load(self, *args, **kwargs):
+        return self.net.load(*args, **kwargs)
+
+    def trafgen(self, *args, **kwargs):
+        return self.net.trafgen(*args, **kwargs)
+
+    def sink(self, *args, **kwargs):
+        return self.net.sink(*args, **kwargs)
+
+    def tcp(self, *args, **kwargs):
+        return self.net.tcp(*args, **kwargs)
+
+    def run(self, *args, **kwargs):
+        return self.net.run(*args, **kwargs)
+
+    def node(self, name):
+        return self.net.node(name)
+
+    def __getitem__(self, name):
+        return self.net.node(name)
+
+    @property
+    def scheduler(self):
+        return self.net.scheduler

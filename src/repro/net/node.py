@@ -32,6 +32,7 @@ per-packet setup is paid once per flow, not once per packet.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -156,7 +157,18 @@ class Node:
     ):
         self.name = name
         self.clock_ns = clock_ns or (lambda: 0)
-        self.rng = random.Random(seed if seed is not None else hash(name) & 0xFFFF)
+        # The default seed derives from the name with crc32, NOT hash():
+        # str hashing is salted per process (PYTHONHASHSEED), which would
+        # make eBPF get_prandom_u32 streams differ between runs of the
+        # same scenario.  repro.lab overrides this with a seed derived
+        # from the experiment seed.
+        self.rng = random.Random(
+            seed if seed is not None else zlib.crc32(name.encode()) & 0xFFFF
+        )
+        # Salt XOR-ed into the 5-tuple hash before ECMP nexthop selection
+        # (the analogue of the kernel's boot-time flow-hash seed).  Zero
+        # by default; repro.lab derives it from the experiment seed.
+        self.ecmp_seed = 0
         self.devices: dict[str, NetDev] = {}
         self.tables: dict[int, FibTable] = {MAIN_TABLE: FibTable(MAIN_TABLE)}
         self.addresses: list[bytes] = []
@@ -505,7 +517,7 @@ class Node:
             # single-nexthop route skips the L4 walk entirely.
             nexthop = nexthops[0]
         else:
-            nexthop = route.select_nexthop(pkt.flow_hash())
+            nexthop = route.select_nexthop(pkt.flow_hash() ^ self.ecmp_seed)
         if nexthop is None or nexthop.dev not in self.devices:
             self.counters.dropped += 1
             return _CONSUMED

@@ -1,219 +1,33 @@
-"""Topology builders, including the paper's two lab setups (Figure 1).
+"""Topology builders for the paper's two lab setups (Figure 1).
 
-Setup 1 (§3.2): ``S1 —— R —— S2``.  Three Xeon servers with 10 Gb/s NICs;
-S1 generates trafgen UDP with a two-segment SRH, R executes the endpoint
-function under test, S2 sinks.
-
-Setup 2 (§4.2): ``S1 —— A ==(two shaped paths via R)== M —— S2``.  A is
-the ISP aggregation box, M the CPE (Turris Omnia), R shapes the two
-access links with netem (50 Mb/s @ 30±5 ms RTT and 30 Mb/s @ 5±2 ms RTT).
+The implementations live in :mod:`repro.lab.setups`, declared as
+:class:`~repro.lab.topo.Topo` subclasses on the
+:class:`~repro.lab.network.Network` builder; this module re-exports them
+under their historical ``repro.sim`` names.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..lab.setups import (
+    PAPER_LINK0,
+    PAPER_LINK1,
+    HybridLinkSpec,
+    Setup1,
+    Setup1Topo,
+    Setup2,
+    Setup2Topo,
+    build_setup1,
+    build_setup2,
+)
 
-from ..net.node import Node
-from .cpu import CostModel, CpuQueue
-from .link import Link
-from .netem import NetemQdisc
-from .scheduler import NS_PER_MS, Scheduler
-
-
-@dataclass
-class Setup1:
-    """The §3.2 microbenchmark chain."""
-
-    scheduler: Scheduler
-    s1: Node
-    r: Node
-    s2: Node
-    links: list[Link] = field(default_factory=list)
-
-    S1_ADDR = "fc00:1::1"
-    R_ADDR = "fc00:e::1"
-    S2_ADDR = "fc00:2::2"
-    FUNC_SEGMENT = "fc00:e::100"  # install the function under test here
-
-
-def build_setup1(rate_bps: float = 10e9, link_delay_ns: int = 5000) -> Setup1:
-    """Wire the S1—R—S2 chain with plain forwarding routes installed."""
-    scheduler = Scheduler()
-    clock = scheduler.now_fn()
-    s1 = Node("S1", clock_ns=clock)
-    r = Node("R", clock_ns=clock)
-    s2 = Node("S2", clock_ns=clock)
-
-    s1.add_device("eth0")
-    r.add_device("eth0")  # toward S1
-    r.add_device("eth1")  # toward S2
-    s2.add_device("eth0")
-
-    s1.add_address(Setup1.S1_ADDR)
-    r.add_address(Setup1.R_ADDR)
-    s2.add_address(Setup1.S2_ADDR)
-
-    links = [
-        Link(scheduler, s1.devices["eth0"], r.devices["eth0"], rate_bps, link_delay_ns),
-        Link(scheduler, r.devices["eth1"], s2.devices["eth0"], rate_bps, link_delay_ns),
-    ]
-
-    s1.add_route("::/0", via="fc00:1::ff", dev="eth0")
-    r.add_route("fc00:1::/64", via=Setup1.S1_ADDR, dev="eth0")
-    r.add_route("fc00:2::/64", via=Setup1.S2_ADDR, dev="eth1")
-    s2.add_route("::/0", via="fc00:2::ff", dev="eth0")
-    return Setup1(scheduler, s1, r, s2, links)
-
-
-@dataclass
-class HybridLinkSpec:
-    """One access link's shaping parameters (netem on R, §4.2)."""
-
-    rate_bps: float
-    rtt_ns: int
-    jitter_rtt_ns: int
-
-    @property
-    def one_way_ns(self) -> int:
-        return self.rtt_ns // 2
-
-    @property
-    def one_way_jitter_ns(self) -> int:
-        return self.jitter_rtt_ns // 2
-
-
-# The paper's two links: 50 Mb/s @ 30±5 ms and 30 Mb/s @ 5±2 ms.
-PAPER_LINK0 = HybridLinkSpec(50e6, 30 * NS_PER_MS, 5 * NS_PER_MS)
-PAPER_LINK1 = HybridLinkSpec(30e6, 5 * NS_PER_MS, 2 * NS_PER_MS)
-
-
-@dataclass
-class Setup2:
-    """The §4.2 hybrid-access testbed."""
-
-    scheduler: Scheduler
-    s1: Node  # server-side host
-    a: Node  # aggregation box
-    r: Node  # shaper
-    m: Node  # CPE (Turris Omnia)
-    s2: Node  # client LAN host
-    links: list[Link] = field(default_factory=list)
-    shapers: dict[str, NetemQdisc] = field(default_factory=dict)
-    compensators: dict[str, NetemQdisc] = field(default_factory=dict)
-
-    S1_ADDR = "fc00:1::1"
-    S2_ADDR = "fc00:2::2"
-    A_ADDR = "fc00:aa::1"
-    M_ADDR = "fc00:bb::1"
-    # Decap segments on each side, one per access link (End.DT6 targets).
-    A_SEG = ("fc00:aa::d0", "fc00:aa::d1")
-    M_SEG = ("fc00:bb::d0", "fc00:bb::d1")
-    # End.DM segments for the TWD daemon's probes (§4.2 + §4.1).
-    M_DM_SEG = ("fc00:bb::dd0", "fc00:bb::dd1")
-
-
-def build_setup2(
-    link0: HybridLinkSpec = PAPER_LINK0,
-    link1: HybridLinkSpec = PAPER_LINK1,
-    lan_rate_bps: float = 1e9,
-    cpe_cpu: CostModel | None = None,
-    seed: int = 7,
-) -> Setup2:
-    """Wire the hybrid-access topology with shaping but *no* WRR yet.
-
-    The hybrid use case (``repro.usecases.hybrid``) installs the WRR
-    programs, decap segments and compensation on top of this.
-    """
-    scheduler = Scheduler()
-    clock = scheduler.now_fn()
-    s1 = Node("S1", clock_ns=clock)
-    a = Node("A", clock_ns=clock)
-    r = Node("R", clock_ns=clock)
-    m = Node("M", clock_ns=clock)
-    s2 = Node("S2", clock_ns=clock)
-
-    s1.add_device("eth0")
-    a.add_device("wan")  # toward S1
-    a.add_device("dsl")  # access link 0
-    a.add_device("lte")  # access link 1
-    r.add_device("a0")
-    r.add_device("a1")
-    r.add_device("m0")
-    r.add_device("m1")
-    m.add_device("dsl")
-    m.add_device("lte")
-    m.add_device("lan")
-    s2.add_device("eth0")
-
-    s1.add_address(Setup2.S1_ADDR)
-    a.add_address(Setup2.A_ADDR)
-    r.add_address("fc00:ee::1")
-    m.add_address(Setup2.M_ADDR)
-    s2.add_address(Setup2.S2_ADDR)
-
-    fast = 1e9  # physical port rate; shaping happens in netem on R
-    links = [
-        Link(scheduler, s1.devices["eth0"], a.devices["wan"], lan_rate_bps, 100_000),
-        Link(scheduler, a.devices["dsl"], r.devices["a0"], fast, 10_000),
-        Link(scheduler, a.devices["lte"], r.devices["a1"], fast, 10_000),
-        Link(scheduler, r.devices["m0"], m.devices["dsl"], fast, 10_000),
-        Link(scheduler, r.devices["m1"], m.devices["lte"], fast, 10_000),
-        Link(scheduler, m.devices["lan"], s2.devices["eth0"], lan_rate_bps, 10_000),
-    ]
-
-    # netem shaping on R, both directions of each access link.
-    shapers = {}
-    for devname, spec, seed_off in (
-        ("m0", link0, 0),
-        ("a0", link0, 1),
-        ("m1", link1, 2),
-        ("a1", link1, 3),
-    ):
-        qdisc = NetemQdisc(
-            scheduler,
-            rate_bps=spec.rate_bps,
-            delay_ns=spec.one_way_ns,
-            jitter_ns=spec.one_way_jitter_ns,
-            seed=seed + seed_off,
-        )
-        r.devices[devname].qdisc = qdisc
-        shapers[devname] = qdisc
-
-    # Plain forwarding on R: the path is pinned by the decap segment.
-    for seg, a_dev, m_dev in (
-        (0, "a0", "m0"),
-        (1, "a1", "m1"),
-    ):
-        r.add_route(f"{Setup2.M_SEG[seg]}/128", via=Setup2.M_ADDR, dev=m_dev)
-        r.add_route(f"{Setup2.M_DM_SEG[seg]}/128", via=Setup2.M_ADDR, dev=m_dev)
-        r.add_route(f"{Setup2.A_SEG[seg]}/128", via=Setup2.A_ADDR, dev=a_dev)
-    # Direct (non-aggregated) paths used before WRR is installed: pin to link 0.
-    r.add_route("fc00:2::/64", via=Setup2.M_ADDR, dev="m0")
-    r.add_route("fc00:bb::/64", via=Setup2.M_ADDR, dev="m0")
-    r.add_route("fc00:1::/64", via=Setup2.A_ADDR, dev="a0")
-    r.add_route("fc00:aa::/64", via=Setup2.A_ADDR, dev="a0")
-
-    # Hosts.
-    s1.add_route("::/0", via=Setup2.A_ADDR, dev="eth0")
-    s2.add_route("::/0", via=Setup2.M_ADDR, dev="eth0")
-
-    # Aggregation box: server side + per-segment access routes.
-    a.add_route("fc00:1::/64", via=Setup2.S1_ADDR, dev="wan")
-    a.add_route(f"{Setup2.M_SEG[0]}/128", via="fc00:ee::1", dev="dsl")
-    a.add_route(f"{Setup2.M_SEG[1]}/128", via="fc00:ee::1", dev="lte")
-    a.add_route(f"{Setup2.M_DM_SEG[0]}/128", via="fc00:ee::1", dev="dsl")
-    a.add_route(f"{Setup2.M_DM_SEG[1]}/128", via="fc00:ee::1", dev="lte")
-    a.add_route("fc00:2::/64", via="fc00:ee::1", dev="dsl")  # replaced by WRR
-    a.add_route("fc00:bb::/64", via="fc00:ee::1", dev="dsl")
-
-    # CPE: LAN side + per-segment access routes.
-    m.add_route("fc00:2::/64", via=Setup2.S2_ADDR, dev="lan")
-    m.add_route(f"{Setup2.A_SEG[0]}/128", via="fc00:ee::1", dev="dsl")
-    m.add_route(f"{Setup2.A_SEG[1]}/128", via="fc00:ee::1", dev="lte")
-    m.add_route("fc00:1::/64", via="fc00:ee::1", dev="dsl")  # replaced by WRR
-    m.add_route("fc00:aa::/64", via="fc00:ee::1", dev="dsl")
-
-    if cpe_cpu is not None:
-        m.cpu = CpuQueue(scheduler, cpe_cpu, m)
-
-    return Setup2(scheduler, s1, a, r, m, s2, links, shapers)
+__all__ = [
+    "HybridLinkSpec",
+    "PAPER_LINK0",
+    "PAPER_LINK1",
+    "Setup1",
+    "Setup1Topo",
+    "Setup2",
+    "Setup2Topo",
+    "build_setup1",
+    "build_setup2",
+]

@@ -7,6 +7,7 @@ iperf3-style constant-rate UDP flows of varying payload size.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -43,6 +44,9 @@ class UdpFlow:
         flow_label: int = 0,
         packet_factory: Callable[..., Packet] | None = None,
         burst: int = 1,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        src_port_spread: int = 1,
     ):
         """``burst`` sets the batch size emitted per tick (pacing grain).
 
@@ -50,6 +54,13 @@ class UdpFlow:
         burst factor); what changes is pacing granularity — one scheduler
         event and one datapath batch per tick, which is what makes
         10k-flow simulations affordable.  ``burst=1`` paces per packet.
+
+        ``src_port_spread`` > 1 draws each packet's source port from
+        ``[src_port, src_port + spread)`` — pktgen's ``UDPSRC_RND`` flag,
+        for workloads that need 5-tuple diversity.  The draw comes from
+        this generator's own RNG (``rng``, or one seeded with ``seed``),
+        so a seeded run is bit-reproducible; ``repro.lab`` derives the
+        seed from the experiment seed.
         """
         if payload_size <= 0:
             raise ValueError("payload_size must be positive")
@@ -64,6 +75,8 @@ class UdpFlow:
         self.flow_label = flow_label
         self.packet_factory = packet_factory or make_udp_packet
         self.burst = max(1, int(burst))
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.src_port_spread = max(1, int(src_port_spread))
         self.stats = GeneratorStats()
         self.flow_id = next(self._flow_ids)
         self._seq = 0
@@ -82,10 +95,13 @@ class UdpFlow:
         self._stop_ns = self.scheduler.now_ns
 
     def _make_packet(self, now: int) -> Packet:
+        src_port = self.src_port
+        if self.src_port_spread > 1:
+            src_port += self.rng.randrange(self.src_port_spread)
         pkt = self.packet_factory(
             self.src,
             self.dst,
-            self.src_port,
+            src_port,
             self.dst_port,
             bytes(self.payload_size),
             flow_label=self.flow_label,

@@ -20,12 +20,12 @@ from dataclasses import dataclass, field
 
 from ..ebpf import ArrayMap, PerfEventArrayMap
 from ..net.addr import as_addr
+from ..net.iproute import IpRoute
 from ..net.ipv6 import PROTO_UDP
 from ..net.lwt_bpf import BpfLwt
 from ..net.node import Node
 from ..net.packet import Packet, make_udp_packet
 from ..net.seg6 import push_outer_encap
-from ..net.seg6local import EndDT6
 from ..net.srh import (
     DM_KIND_TWD,
     SRH,
@@ -215,11 +215,16 @@ def deploy_hybrid_access(
     """
     a, m = setup.a, setup.m
 
-    # Native decapsulation segments (the kernel's static End.DT6).
-    for seg in Setup2.A_SEG:
-        a.add_route(f"{seg}/128", encap=EndDT6(table_id=254))
-    for seg in Setup2.M_SEG:
-        m.add_route(f"{seg}/128", encap=EndDT6(table_id=254))
+    # Native decapsulation segments (the kernel's static End.DT6),
+    # installed through the textual config plane — the exact commands
+    # the paper's testbed runs.  Setups carrying a builder use its
+    # cached per-node planes (and shared object registry).
+    for node, segs in ((a, Setup2.A_SEG), (m, Setup2.M_SEG)):
+        plane = setup.net.plane(node) if setup.net is not None else IpRoute(node)
+        for seg in segs:
+            plane.execute(
+                f"ip -6 route add {seg}/128 encap seg6local action End.DT6 table 254"
+            )
 
     # End.DM (TWD mode) on the CPE, one segment per link (§4.2 extension).
     events0, _ = install_end_dm(m, Setup2.M_DM_SEG[0], jit=jit)
@@ -237,10 +242,17 @@ def deploy_hybrid_access(
 
     daemon = None
     if compensation:
-        comp0 = NetemQdisc(setup.scheduler, seed=101)
-        comp1 = NetemQdisc(setup.scheduler, seed=102)
-        a.devices["dsl"].qdisc = comp0
-        a.devices["lte"].qdisc = comp1
+        # The daemon's compensating qdiscs on the aggregation box's two
+        # access devices (``tc qdisc add``, via the builder when the
+        # setup carries one).
+        if setup.net is not None:
+            comp0 = setup.net.netem(a, "dsl", seed=101)
+            comp1 = setup.net.netem(a, "lte", seed=102)
+        else:
+            comp0 = NetemQdisc(setup.scheduler, seed=101)
+            comp1 = NetemQdisc(setup.scheduler, seed=102)
+            a.devices["dsl"].qdisc = comp0
+            a.devices["lte"].qdisc = comp1
         setup.compensators = {"dsl": comp0, "lte": comp1}
         daemon = TwdDaemon(
             a,

@@ -142,3 +142,137 @@ def test_mixed_nexthop_and_via_rejected(ip):
 def test_addr_add(ip):
     ip.addr_add("fc00:e::1/64 dev eth0")
     assert pton("fc00:e::1") in ip.node.addresses
+
+
+# --- route del / replace / show: the config-plane round trip ------------------
+
+
+def test_route_del_removes_route(ip):
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is not None
+    ip.route_del("fc00:2::/64")
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is None
+
+
+def test_route_del_default_host_prefixlen(ip):
+    ip.route_add("fc00::1 dev eth0")
+    ip.route_del("fc00::1")
+    assert ip.node.main_table().lookup(pton("fc00::1")) is None
+
+
+def test_route_del_from_table(ip):
+    ip.route_add("fc00:2::/64 table 100 via fc00:2::1 dev eth1")
+    ip.route_del("fc00:2::/64 table 100")
+    assert ip.node.table(100).lookup(pton("fc00:2::5")) is None
+
+
+def test_route_del_missing_route_raises(ip):
+    with pytest.raises(IpRouteError, match="no route"):
+        ip.route_del("fc00:9::/64")
+
+
+def test_route_replace_overwrites_nexthop(ip):
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    route = ip.route_replace("fc00:2::/64 via fc00:2::9 dev eth0")
+    assert route.nexthops[0].via == pton("fc00:2::9")
+    resolved = ip.node.main_table().lookup(pton("fc00:2::5"))
+    assert resolved.nexthops[0].dev == "eth0"
+
+
+def test_route_show_round_trips_plain_and_encap_routes(ip):
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    ip.route_add("fc00:3::/64 encap seg6 mode encap segs fc00::a,fc00::b dev eth1")
+    ip.route_add("fc00::100/128 encap seg6local action End.DT6 table 254")
+    ip.route_add(
+        "fc00::101/128 encap seg6local action End.BPF endpoint obj prog.o dev eth0"
+    )
+    ip.route_add(
+        "fc00:5::/64 nexthop via fc00::a dev eth0 weight 2 nexthop via fc00::b dev eth1"
+    )
+    shown = ip.route_show()
+    assert shown  # deterministic order: sorted by (prefixlen, prefix)
+
+    # Replay every shown line onto a fresh node: same routes come back.
+    replica = IpRoute(Node("R2"), objects=ip.objects)
+    replica.node.add_device("eth0")
+    replica.node.add_device("eth1")
+    for line in shown:
+        replica.route_add(line)
+    assert replica.route_show() == shown
+
+
+def test_route_show_includes_table_and_local(ip):
+    ip.addr_add("fc00:e::1 dev eth0")
+    ip.route_add("fc00:2::/64 table 100 via fc00:2::1 dev eth1")
+    assert any(line.startswith("local fc00:e::1/128") for line in ip.route_show())
+    assert ip.route_show("table 100") == ["fc00:2::/64 via fc00:2::1 dev eth1 table 100"]
+
+
+def test_execute_dispatches_full_command_lines(ip):
+    ip.execute("ip -6 addr add fc00:e::1 dev eth0")
+    assert pton("fc00:e::1") in ip.node.addresses
+    ip.execute("ip -6 route add fc00:2::/64 via fc00:2::1 dev eth1")
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is not None
+    ip.execute("route replace fc00:2::/64 via fc00:2::9 dev eth0")
+    shown = ip.execute("ip -6 route show")
+    assert "fc00:2::/64 via fc00:2::9 dev eth0" in shown
+    ip.execute("ip -6 route del fc00:2::/64")
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is None
+
+
+def test_execute_rejects_unknown_commands(ip):
+    with pytest.raises(IpRouteError, match="unknown route subcommand"):
+        ip.execute("ip -6 route frobnicate fc00::/64")
+    with pytest.raises(IpRouteError, match="unknown command object"):
+        ip.execute("ip -6 link set eth0 up")
+
+
+def test_shared_object_registry_sees_late_loads():
+    node = Node("R")
+    node.add_device("eth0")
+    objects = {}
+    ip = IpRoute(node, objects)
+    with pytest.raises(IpRouteError, match="no loaded eBPF object"):
+        ip.route_add(
+            "fc00::100/128 encap seg6local action End.BPF endpoint obj late.o dev eth0"
+        )
+    objects["late.o"] = Program("mov r0, 0\nexit", allowed_helpers=SEG6LOCAL_HELPERS)
+    route = ip.route_add(
+        "fc00::100/128 encap seg6local action End.BPF endpoint obj late.o dev eth0"
+    )
+    assert isinstance(route.encap, EndBPF)
+
+
+def test_route_del_accepts_metric_selector(ip):
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1 metric 1024")
+    ip.route_del("fc00:2::/64 metric 1024")
+    assert ip.node.main_table().lookup(pton("fc00:2::5")) is None
+
+
+def test_route_show_registers_programmatic_programs_for_replay(ip):
+    # Installed around the plane (node.add_route with an encap object),
+    # as usecases' install_wrr does — the dump must still resolve.
+    prog = Program("mov r0, 0\nexit", allowed_helpers=SEG6LOCAL_HELPERS, name="wrr")
+    ip.node.add_route("fc00:7::/64", encap=BpfLwt(prog_out=prog), via="fc00::1", dev="eth0")
+    shown = [line for line in ip.route_show() if "encap bpf" in line]
+    assert shown == ["fc00:7::/64 encap bpf out obj wrr via fc00::1 dev eth0"]
+    assert ip.objects["wrr"] is prog  # registered on show
+    replica = IpRoute(Node("R2"), objects=ip.objects)
+    replica.node.add_device("eth0")
+    replayed = replica.route_add(shown[0])
+    assert replayed.encap.prog_out is prog
+
+
+def test_route_show_local_lines_replay_unfiltered(ip):
+    ip.addr_add("fc00:e::1 dev eth0")
+    ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1")
+    shown = ip.route_show()
+    replica = IpRoute(Node("R2"))
+    replica.node.add_device("eth0")
+    replica.node.add_device("eth1")
+    for line in shown:
+        replica.route_add(line)  # no filtering needed
+    assert replica.route_show() == shown
+    # The replayed local route really delivers locally.
+    resolved = replica.node.main_table().lookup(pton("fc00:e::1"))
+    assert resolved is not None and resolved.local

@@ -9,9 +9,9 @@ system degrades exactly as designed: drops with counters, never crashes.
 import pytest
 
 from repro.ebpf import ArrayMap, HashMap, PerfEventArrayMap, Program
+from repro.lab import Network
 from repro.net import (
     EndBPF,
-    Node,
     SEG6LOCAL_HELPERS,
     make_srv6_udp_packet,
     make_udp_packet,
@@ -20,13 +20,16 @@ from repro.net import (
 SEG = "fc00:e::100"
 
 
+def fresh_lab(**node_kwargs):
+    """A one-router network built through the declarative builder."""
+    net = Network()
+    net.add_node("R", addr="fc00:e::1", devices=("eth0", "eth1"), **node_kwargs)
+    net.config("R", "route add fc00:2::/64 via fc00:2::1 dev eth1")
+    return net
+
+
 def fresh_router():
-    node = Node("R")
-    node.add_device("eth0")
-    node.add_device("eth1")
-    node.add_address("fc00:e::1")
-    node.add_route("fc00:2::/64", via="fc00:2::1", dev="eth1")
-    return node
+    return fresh_lab()["R"]
 
 
 def srv6_pkt():
@@ -196,30 +199,29 @@ def test_seg6local_route_with_exhausted_segments_drops():
 
 
 def test_cpu_queue_overflow_drops_but_recovers():
-    from repro.sim import CostModel, CpuQueue, Scheduler
+    from repro.sim import CostModel
 
-    sched = Scheduler()
-    node = fresh_router()
-    node.clock_ns = sched.now_fn()
-    node.cpu = CpuQueue(sched, CostModel(forward_ns=1_000_000), node, queue_limit=5)
+    net = fresh_lab(cpu=CostModel(forward_ns=1_000_000), cpu_queue_limit=5)
+    node = net["R"]
     for _ in range(20):
         node.receive(make_udp_packet("fc00:1::1", "fc00:2::2", 1, 2, b"x"), node.devices["eth0"])
-    sched.run()
+    net.run()
     assert node.cpu.stats.dropped == 15
     assert len(node.devices["eth1"].tx_buffer) == 5
     # Recovery: a later packet sails through the drained queue.
     node.receive(make_udp_packet("fc00:1::1", "fc00:2::2", 1, 2, b"y"), node.devices["eth0"])
-    sched.run()
+    net.run()
     assert len(node.devices["eth1"].tx_buffer) == 6
 
 
 def test_monitoring_survives_lossy_path():
     """DM pipeline under 20 % netem loss: fewer samples, no corruption."""
-    from repro.sim import NetemQdisc, UdpFlow, build_setup1
+    from repro.sim import build_setup1
     from repro.sim.scheduler import NS_PER_SEC
     from repro.usecases import deploy_owd_monitoring
 
     setup = build_setup1()
+    net = setup.net
     handles = deploy_owd_monitoring(
         head=setup.s1,
         tail=setup.s2,
@@ -231,14 +233,12 @@ def test_monitoring_survives_lossy_path():
         via="fc00:1::ff",
         dev="eth0",
     )
-    setup.r.add_route("fc00:2::dd/128", via="fc00:2::2", dev="eth1")
-    handles.daemon.start(setup.scheduler, interval_ns=1_000_000)
-    setup.r.devices["eth1"].qdisc = NetemQdisc(setup.scheduler, loss=0.2, seed=3)
-    flow = UdpFlow(
-        setup.scheduler, setup.s1, "fc00:1::1", "fc00:2::2", rate_bps=5e6, payload_size=100
-    )
+    net.config("R", "route add fc00:2::dd/128 via fc00:2::2 dev eth1")
+    handles.daemon.start(net.scheduler, interval_ns=1_000_000)
+    net.netem("R", "eth1", loss=0.2, seed=3)
+    flow = net.trafgen("S1", dst="fc00:2::2", rate_bps=5e6, payload_size=100)
     flow.start(duration_ns=NS_PER_SEC // 10)
-    setup.scheduler.run(until_ns=NS_PER_SEC // 2)
-    samples = handles.collector.samples
-    assert 0 < len(samples) < flow.stats.sent
-    assert all(s.delay_ns >= 0 for s in samples)
+    with net.run(until_ns=NS_PER_SEC // 2):
+        samples = handles.collector.samples
+        assert 0 < len(samples) < flow.stats.sent
+        assert all(s.delay_ns >= 0 for s in samples)

@@ -1,0 +1,32 @@
+"""Static gate: scenario construction goes through ``repro.lab`` only.
+
+No file under ``examples/``, ``benchmarks/`` or ``src/repro/usecases/``
+may construct a ``Node``, ``Link`` or ``Scheduler`` directly (or call
+``add_device``): the declarative builder is the one sanctioned door.
+The CI workflow runs the same check as a grep so violations fail fast
+even outside pytest.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GATED_DIRS = ("examples", "benchmarks", "src/repro/usecases")
+
+# Direct constructions of the raw wiring primitives.  \b keeps compound
+# names (HybridLinkSpec, NodeCounters, ...) out of scope; keep this in
+# sync with the grep in .github/workflows/ci.yml.
+FORBIDDEN = re.compile(r"\b(?:Node|Link|Scheduler)\(|\.add_device\(")
+
+
+def test_gated_trees_only_build_through_repro_lab():
+    violations = []
+    for gated in GATED_DIRS:
+        for path in sorted((REPO / gated).rglob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                if FORBIDDEN.search(line):
+                    violations.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    assert not violations, (
+        "raw Node/Link/Scheduler wiring outside repro.lab — build scenarios "
+        "with Network/Topo instead:\n" + "\n".join(violations)
+    )
