@@ -1,0 +1,59 @@
+"""repro.ctrl — the event-driven control plane.
+
+Four layers over the existing scheduler/datapath/config stack:
+
+* :mod:`repro.ctrl.events` — the :class:`ControlBus` publish/subscribe
+  log every control-plane action is recorded on;
+* :mod:`repro.ctrl.spf` — the pure graph layer: flooded
+  :class:`Lsa` records in a :class:`LinkStateDb`, Dijkstra SPF with
+  full ECMP bookkeeping, and TI-LFA repair-path selection;
+* :mod:`repro.ctrl.igp` — per-node :class:`IgpSpeaker` daemons
+  (hello/LSA exchange over the simulated links, dead-interval failure
+  detection, route programming through the iproute2 textual plane) and
+  the per-network :class:`ControlPlane` orchestrator;
+* :mod:`repro.ctrl.frr` — :class:`FrrManager`, which precomputes
+  TI-LFA backup routes as literal ``route replace … encap seg6`` command
+  strings and replays them the instant a local link loses carrier.
+
+Enable it on any :class:`repro.lab.Network` with ``net.ctrl()``::
+
+    net = Network(seed=7)
+    ... add nodes and links ...
+    ctrl = net.ctrl(frr=True)
+    net.run(until_ms=500)           # converge
+    net.fail_link("A", "B", at_ns=net.now_ns + NS_PER_SEC)
+    net.run(until_ms=2000)          # FRR detours, IGP reconverges
+    print(ctrl.bus.dump())
+"""
+
+from .events import ControlBus, CtrlEvent
+from .frr import FrrManager, FrrPlan
+from .igp import ALL_ROUTERS, IGP_PORT, Adjacency, ControlPlane, IgpSpeaker
+from .spf import (
+    AdjacencyInfo,
+    LinkStateDb,
+    Lsa,
+    RepairPath,
+    SpfResult,
+    run_spf,
+    tilfa_repair,
+)
+
+__all__ = [
+    "ALL_ROUTERS",
+    "Adjacency",
+    "AdjacencyInfo",
+    "ControlBus",
+    "ControlPlane",
+    "CtrlEvent",
+    "FrrManager",
+    "FrrPlan",
+    "IGP_PORT",
+    "IgpSpeaker",
+    "LinkStateDb",
+    "Lsa",
+    "RepairPath",
+    "SpfResult",
+    "run_spf",
+    "tilfa_repair",
+]

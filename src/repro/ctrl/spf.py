@@ -1,0 +1,366 @@
+"""Link-state database and path computation: Dijkstra SPF with ECMP,
+plus TI-LFA backup-path selection.
+
+This module is pure graph theory over flooded :class:`Lsa` records — no
+scheduler, no packets — so every property the control plane relies on
+(ECMP sets, two-way adjacency checks, P/Q-space membership of repair
+segments) is unit-testable in isolation.
+
+The TI-LFA computation follows the topology-independent LFA idea: after
+removing the protected link, the post-convergence shortest path is
+walked and compressed into the minimal list of *release points* such
+that each leg between consecutive release points is covered by normal
+(pre-failure) shortest-path routing that provably avoids the failed
+link on **every** equal-cost path (the datapath hashes over the full
+ECMP set, so "some shortest path avoids it" is not good enough).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AdjacencyInfo:
+    """One directed adjacency as advertised in an LSA.
+
+    ``dev`` is the advertiser's device toward ``neighbor``; ``via`` is
+    the neighbor's interface address (the gateway a route through this
+    adjacency uses) and ``remote_dev`` the neighbor's device on the same
+    link — both learned from hellos.  ``remote_dev`` is what lets a
+    failure be excluded at *adjacency* granularity: failing one of two
+    parallel links must leave the sibling in the post-convergence graph.
+    """
+
+    neighbor: str
+    cost: int
+    dev: str
+    via: str
+    remote_dev: str = ""
+
+
+@dataclass
+class Lsa:
+    """A router LSA: who I am, who I can hear, what I originate."""
+
+    origin: str
+    seq: int
+    adjacencies: tuple[AdjacencyInfo, ...] = ()
+    prefixes: tuple[str, ...] = ()  # prefixes originated here (addr /128s, SIDs)
+    sid: str | None = None  # segment-endpoint SID (End behaviour)
+    dt6_sid: str | None = None  # decap SID (End.DT6 behaviour)
+
+    def to_wire(self) -> dict:
+        return {
+            "origin": self.origin,
+            "seq": self.seq,
+            "adj": [
+                [a.neighbor, a.cost, a.dev, a.via, a.remote_dev]
+                for a in self.adjacencies
+            ],
+            "prefixes": list(self.prefixes),
+            "sid": self.sid,
+            "dt6_sid": self.dt6_sid,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Lsa":
+        return cls(
+            origin=data["origin"],
+            seq=int(data["seq"]),
+            adjacencies=tuple(
+                AdjacencyInfo(n, int(c), d, v, r) for n, c, d, v, r in data["adj"]
+            ),
+            prefixes=tuple(data["prefixes"]),
+            sid=data.get("sid"),
+            dt6_sid=data.get("dt6_sid"),
+        )
+
+
+class LinkStateDb:
+    """The flooded topology view: one :class:`Lsa` per origin.
+
+    ``insert`` implements the sequence-number freshness rule; ``graph``
+    applies the two-way connectivity check (an adjacency counts only if
+    both ends advertise it), which is what keeps half-dead links out of
+    SPF.
+    """
+
+    def __init__(self):
+        self.lsas: dict[str, Lsa] = {}
+        self.version = 0  # bumped on every accepted insert
+
+    def insert(self, lsa: Lsa) -> bool:
+        """Install ``lsa`` if it is newer than what we hold; True if installed."""
+        current = self.lsas.get(lsa.origin)
+        if current is not None and current.seq >= lsa.seq:
+            return False
+        self.lsas[lsa.origin] = lsa
+        self.version += 1
+        return True
+
+    def get(self, origin: str) -> Lsa | None:
+        return self.lsas.get(origin)
+
+    def nodes(self) -> list[str]:
+        return sorted(self.lsas)
+
+    def graph(
+        self, exclude: "frozenset[tuple[str, str]] | None" = None
+    ) -> dict[str, list[AdjacencyInfo]]:
+        """Directed adjacency lists after the two-way check.
+
+        ``exclude`` removes individual adjacencies, identified as
+        ``(node, dev)`` pairs from either side — the "failed link" view
+        used for post-convergence SPF.  Exclusion is per adjacency, not
+        per node pair: failing one of two parallel links leaves the
+        sibling in the graph (which is exactly what makes the Setup-2
+        dual access links repairable).
+        """
+        heard = {
+            origin: {a.neighbor for a in lsa.adjacencies}
+            for origin, lsa in self.lsas.items()
+        }
+        out: dict[str, list[AdjacencyInfo]] = {}
+        for origin, lsa in self.lsas.items():
+            keep = []
+            for adj in sorted(lsa.adjacencies, key=lambda a: (a.neighbor, a.dev)):
+                if adj.neighbor not in self.lsas:
+                    continue
+                if origin not in heard[adj.neighbor]:
+                    continue  # one-way: the far end does not hear us
+                if exclude and (
+                    (origin, adj.dev) in exclude
+                    or (adj.neighbor, adj.remote_dev) in exclude
+                ):
+                    continue
+                keep.append(adj)
+            out[origin] = keep
+        return out
+
+
+@dataclass
+class SpfResult:
+    """The SPF outcome from one root: distances, ECMP first hops, preds.
+
+    ``preds`` records, per destination, the set of ``(pred_node, pred_dev)``
+    adjacencies on any equal-cost shortest path into it — adjacency
+    granularity, so the failure-avoidance checks distinguish parallel
+    links between the same node pair.
+    """
+
+    root: str
+    dist: dict[str, int]
+    # dest -> tuple of first-hop adjacencies (the root's own devices), the
+    # full equal-cost set, deterministically ordered.
+    first_hops: dict[str, tuple[AdjacencyInfo, ...]]
+    preds: dict[str, set[tuple[str, str]]] = field(default_factory=dict)
+
+    def reachable(self, dest: str) -> bool:
+        return dest in self.dist
+
+    def dag_edges_to(self, dest: str) -> set[tuple[str, str]]:
+        """(node, dev) adjacencies on *any* equal-cost path root→dest."""
+        edges: set[tuple[str, str]] = set()
+        stack = [dest]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for pred, dev in self.preds.get(node, ()):
+                edges.add((pred, dev))
+                stack.append(pred)
+        return edges
+
+    def one_path(self, dest: str) -> list[str]:
+        """One deterministic shortest path root→dest (lexicographic preds)."""
+        if dest not in self.dist:
+            return []
+        path = [dest]
+        while path[-1] != self.root:
+            path.append(min(pred for pred, _dev in self.preds[path[-1]]))
+        path.reverse()
+        return path
+
+
+def run_spf(
+    lsdb: LinkStateDb,
+    root: str,
+    exclude: "frozenset[tuple[str, str]] | None" = None,
+) -> SpfResult:
+    """Dijkstra from ``root`` with full ECMP bookkeeping."""
+    graph = lsdb.graph(exclude)
+    dist: dict[str, int] = {root: 0}
+    first_hops: dict[str, tuple[AdjacencyInfo, ...]] = {}
+    preds: dict[str, set[tuple[str, str]]] = {root: set()}
+    heap: list[tuple[int, str]] = [(0, root)]
+    done: set[str] = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done or d > dist.get(node, 1 << 60):
+            continue
+        done.add(node)
+        for adj in graph.get(node, ()):
+            cand = d + adj.cost
+            hops = (adj,) if node == root else first_hops.get(node, ())
+            old = dist.get(adj.neighbor)
+            if old is None or cand < old:
+                dist[adj.neighbor] = cand
+                first_hops[adj.neighbor] = tuple(hops)
+                preds[adj.neighbor] = {(node, adj.dev)}
+                heapq.heappush(heap, (cand, adj.neighbor))
+            elif cand == old:
+                merged = dict.fromkeys(first_hops.get(adj.neighbor, ()) + tuple(hops))
+                first_hops[adj.neighbor] = tuple(
+                    sorted(merged, key=lambda a: (a.dev, a.via))
+                )
+                preds[adj.neighbor].add((node, adj.dev))
+    return SpfResult(root, dist, first_hops, preds)
+
+
+# -- TI-LFA -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepairPath:
+    """A precomputed TI-LFA repair for one destination.
+
+    ``release_points`` are node names in path order: traffic is steered
+    through their SIDs (End for intermediates, End.DT6 for the last one,
+    which decapsulates and routes the inner packet normally).
+    ``first_hop`` is the surviving adjacency the repair leaves through —
+    the plr pins its route to the first release point's SID onto it,
+    the flattened equivalent of an adjacency SID.
+    """
+
+    dest: str
+    release_points: tuple[str, ...]
+    first_hop: AdjacencyInfo
+
+
+class _AvoidanceOracle:
+    """Memoised "does every shortest path a→b avoid the failed adjacency?".
+
+    The SPF memo holds *pre-failure* results, which are independent of
+    the protected adjacency — pass one ``spf_cache`` dict to the oracles
+    of several protected devices to share the Dijkstras.
+    """
+
+    def __init__(
+        self,
+        lsdb: LinkStateDb,
+        failed: frozenset,
+        spf_cache: "dict[str, SpfResult] | None" = None,
+    ):
+        self.lsdb = lsdb
+        self.failed = failed  # {(node, dev)} — both ends of the failed link
+        self._spf: dict[str, SpfResult] = spf_cache if spf_cache is not None else {}
+
+    def spf_from(self, src: str) -> SpfResult:
+        if src not in self._spf:
+            self._spf[src] = run_spf(self.lsdb, src)
+        return self._spf[src]
+
+    def avoids(self, src: str, dest: str) -> bool:
+        if src == dest:
+            return True
+        result = self.spf_from(src)
+        if not result.reachable(dest):
+            return False
+        return not (self.failed & result.dag_edges_to(dest))
+
+
+def tilfa_repair(
+    lsdb: LinkStateDb,
+    root: str,
+    dest: str,
+    protected_dev: str,
+    oracle: "_AvoidanceOracle | None" = None,
+    post: "SpfResult | None" = None,
+) -> RepairPath | None:
+    """Compute the repair segment list protecting the adjacency out of
+    ``root``'s ``protected_dev``.
+
+    Returns None when the topology offers no repair (the failure
+    partitions ``dest`` away).  The repair rides the post-convergence
+    path: SPF with the one failed adjacency removed (its parallel
+    siblings survive), then greedy compression into the fewest release
+    points whose legs are covered by pre-failure routing that avoids the
+    failed adjacency on every equal-cost path.
+
+    ``post`` is the post-convergence SPF from ``root`` with the
+    protected adjacency excluded — it only depends on the device, not
+    ``dest``, so callers repairing many destinations behind one failure
+    should compute it once and pass it in.
+    """
+    if oracle is None:
+        oracle = make_oracle(lsdb, root, protected_dev)
+    if post is None:
+        post = run_spf(lsdb, root, exclude=frozenset(oracle.failed))
+    if not post.reachable(dest):
+        return None
+    path = post.one_path(dest)
+    if len(path) < 2:
+        return None
+    # The pinned first hop must be a *direct* adjacency to the first
+    # release point (one hop, no intermediate routing), because only the
+    # plr's own FIB is patched — everyone downstream still routes by
+    # pre-failure SPF.
+    direct = [a for a in post.first_hops.get(path[1], ()) if a.neighbor == path[1]]
+    if not direct:
+        return None
+    first_hop = direct[0]
+    # The first release point is the post-convergence first hop: the plr
+    # reaches it over a pinned surviving adjacency, so no avoidance proof
+    # is needed for the first leg.
+    release = [path[1]]
+    anchor_idx = 1
+    while not oracle.avoids(path[anchor_idx], dest):
+        # The farthest forward node whose leg is covered: scan from the
+        # far end and stop at the first hit.
+        best = None
+        for j in reversed(range(anchor_idx + 1, len(path))):
+            if oracle.avoids(path[anchor_idx], path[j]):
+                best = j
+                break
+        if best is None:
+            return None  # no covered leg forward: unprotectable
+        release.append(path[best])
+        anchor_idx = best
+    return RepairPath(dest, tuple(release), first_hop)
+
+
+def make_oracle(
+    lsdb: LinkStateDb,
+    root: str,
+    protected_dev: str,
+    spf_cache: "dict[str, SpfResult] | None" = None,
+) -> _AvoidanceOracle:
+    """A shared avoidance oracle for repairs of one protected adjacency.
+
+    The failed-adjacency set holds both ends of the link: ``(root,
+    protected_dev)`` plus the neighbor's ``(name, remote_dev)`` as
+    advertised in root's own LSA.
+    """
+    failed = {(root, protected_dev)}
+    own = lsdb.get(root)
+    if own is not None:
+        for adj in own.adjacencies:
+            if adj.dev == protected_dev:
+                failed.add((adj.neighbor, adj.remote_dev))
+    return _AvoidanceOracle(lsdb, frozenset(failed), spf_cache)
+
+
+__all__ = [
+    "AdjacencyInfo",
+    "LinkStateDb",
+    "Lsa",
+    "RepairPath",
+    "SpfResult",
+    "make_oracle",
+    "run_spf",
+    "tilfa_repair",
+]

@@ -23,6 +23,7 @@ from .network import Network, RunResult
 from .setups import (
     PAPER_LINK0,
     PAPER_LINK1,
+    SETUP2_IGP_COSTS,
     HybridLinkSpec,
     Setup1,
     Setup1Topo,
@@ -39,6 +40,7 @@ __all__ = [
     "PAPER_LINK0",
     "PAPER_LINK1",
     "RunResult",
+    "SETUP2_IGP_COSTS",
     "Setup1",
     "Setup1Topo",
     "Setup2",

@@ -91,6 +91,7 @@ class Network:
         self.objects: dict[str, Program] = dict(objects or {})
         self._planes: dict[str, IpRoute] = {}
         self._auto_addr = 0
+        self._ctrl = None  # repro.ctrl.ControlPlane, created by ctrl()
 
     # -- seed derivation -------------------------------------------------------
     def derive_seed(self, *key) -> int | None:
@@ -223,10 +224,73 @@ class Network:
             delay_ns = 0  # the netem carries the latency budget
         link = Link(self.scheduler, da, db, rate_bps, delay_ns, queue_limit)
         self.links.append(link)
+        if self._ctrl is not None:
+            # A control plane is armed: the new link must deliver carrier
+            # events like the ones that existed when ctrl() ran.
+            link.watchers.append(self._ctrl._on_carrier)
         if shape_a is not None:
             self.netem(node_a, da.name, **shape_a)
         if shape_b is not None:
             self.netem(node_b, db.name, **shape_b)
+        return link
+
+    def find_link(self, a: "Node | str", b: "Node | str", dev: str | None = None) -> Link:
+        """The link joining ``a`` and ``b`` (``dev`` names a's device when
+        parallel links exist between the pair)."""
+        node_a, node_b = self.node(a), self.node(b)
+        matches = []
+        for link in self.links:
+            ends = {id(link.dev_a.node), id(link.dev_b.node)}
+            if ends != {id(node_a), id(node_b)}:
+                continue
+            a_dev = link.dev_a if link.dev_a.node is node_a else link.dev_b
+            if dev is not None and a_dev.name != dev:
+                continue
+            matches.append(link)
+        if not matches:
+            raise KeyError(f"no link between {node_a.name} and {node_b.name}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} parallel links between {node_a.name} and "
+                f"{node_b.name}; disambiguate with dev="
+            )
+        return matches[0]
+
+    def fail_link(
+        self,
+        a: "Node | str",
+        b: "Node | str",
+        *,
+        dev: str | None = None,
+        at_ns: int | None = None,
+    ) -> Link:
+        """Fail the a—b link (now, or at ``at_ns`` on the event loop).
+
+        In-flight deliveries on the link are lost, new sends are dropped,
+        and every carrier watcher (the control plane's fast-reroute
+        layer) is notified at the failure instant.
+        """
+        link = self.find_link(a, b, dev)
+        if at_ns is None:
+            link.set_down()
+        else:
+            self.scheduler.schedule_at(at_ns, link.set_down)
+        return link
+
+    def recover_link(
+        self,
+        a: "Node | str",
+        b: "Node | str",
+        *,
+        dev: str | None = None,
+        at_ns: int | None = None,
+    ) -> Link:
+        """Bring a failed a—b link back (now, or at ``at_ns``)."""
+        link = self.find_link(a, b, dev)
+        if at_ns is None:
+            link.set_up()
+        else:
+            self.scheduler.schedule_at(at_ns, link.set_up)
         return link
 
     def netem(self, node: "Node | str", dev: str, **kwargs) -> NetemQdisc:
@@ -381,15 +445,53 @@ class Network:
         dst = dst if dst is not None else ntop(rcv.primary_address())
         return make_connection(self.scheduler, snd, rcv, src, dst, port, **sender_kwargs)
 
+    # -- control plane -----------------------------------------------------------
+    def ctrl(self, **kwargs):
+        """Enable the IGP control plane (:class:`repro.ctrl.ControlPlane`).
+
+        Creates one :class:`~repro.ctrl.igp.IgpSpeaker` per node, assigns
+        SRv6 SIDs, starts hello/LSA exchange on the shared scheduler, and
+        returns the started plane.  Keyword arguments are forwarded
+        (``hello_interval_ns=``, ``dead_interval_ns=``, ``spf_delay_ns=``,
+        ``frr=True``, ``costs=``, ``advertise=``, ``nodes=``).  Call it
+        after the topology is built, before :meth:`run`.
+        """
+        from ..ctrl.igp import ControlPlane
+
+        if self._ctrl is not None:
+            raise RuntimeError("this network already has a control plane")
+        self._ctrl = ControlPlane(self, **kwargs).start()
+        return self._ctrl
+
+    def on(self, at_ns: int, fn, *args):
+        """Run ``fn(*args)`` at simulated time ``at_ns`` (scripted events).
+
+        The sanctioned way for examples and experiments to schedule
+        mid-run actions — failures, reconfigurations, readouts — without
+        reaching into ``net.scheduler``.  Returns the event handle
+        (``.cancel()`` to unschedule).
+        """
+        return self.scheduler.schedule_at(at_ns, fn, *args)
+
     # -- execution -------------------------------------------------------------
     def run(
-        self, until_ns: int | None = None, max_events: int | None = None
+        self,
+        until_ns: int | None = None,
+        max_events: int | None = None,
+        *,
+        until_ms: "int | float | None" = None,
     ) -> RunResult:
         """Drive the event loop to the horizon (or until the heap drains).
 
-        Returns the executed-event count as a :class:`RunResult`, which
-        doubles as a context manager for the scoped-readout style.
+        ``until_ms`` is the millisecond convenience spelling of
+        ``until_ns`` (mutually exclusive).  Returns the executed-event
+        count as a :class:`RunResult`, which doubles as a context manager
+        for the scoped-readout style.
         """
+        if until_ms is not None:
+            if until_ns is not None:
+                raise ValueError("pass either until_ns or until_ms, not both")
+            until_ns = int(until_ms * 1_000_000)
         executed = self.scheduler.run(until_ns=until_ns, max_events=max_events)
         return RunResult(executed)
 

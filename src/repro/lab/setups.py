@@ -94,6 +94,21 @@ class HybridLinkSpec:
 PAPER_LINK0 = HybridLinkSpec(50e6, 30 * NS_PER_MS, 5 * NS_PER_MS)
 PAPER_LINK1 = HybridLinkSpec(30e6, 5 * NS_PER_MS, 2 * NS_PER_MS)
 
+# IGP link costs for running ``net.ctrl()`` on Setup 2: prefer the DSL
+# side of both parallel-link pairs, so a DSL failure forces a detour
+# onto LTE (the convergence/FRR scenario family) instead of vanishing
+# into an ECMP tie.
+SETUP2_IGP_COSTS = {
+    ("A", "dsl"): 10,
+    ("A", "lte"): 20,
+    ("R", "a0"): 10,
+    ("R", "a1"): 20,
+    ("R", "m0"): 10,
+    ("R", "m1"): 20,
+    ("M", "dsl"): 10,
+    ("M", "lte"): 20,
+}
+
 
 @dataclass
 class Setup2:

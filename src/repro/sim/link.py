@@ -40,8 +40,13 @@ class LinkEndpoint:
         self.delay_ns = delay_ns
         self.queue_limit = queue_limit
         self.stats = LinkStats()
+        self.up = True
         self._free_at_ns = 0
         self._queued = 0
+        # In-flight delivery events, keyed by the identity of the batch
+        # they carry, so set_down() can cancel them (a failed link loses
+        # the photons already on the fibre).
+        self._in_flight: dict[int, tuple] = {}
 
     def tx_time_ns(self, size_bytes: int) -> int:
         if self.rate_bps <= 0:
@@ -66,6 +71,9 @@ class LinkEndpoint:
         """
         now = self.scheduler.now_ns
         stats = self.stats
+        if not self.up:
+            stats.dropped += len(pkts)
+            return
         accepted: list[Packet] = []
         depart = self._free_at_ns
         for pkt in pkts:
@@ -80,14 +88,32 @@ class LinkEndpoint:
             stats.bytes_sent += len(pkt)
             accepted.append(pkt)
         if accepted:
-            self.scheduler.schedule_batch(
+            event = self.scheduler.schedule_batch(
                 depart + self.delay_ns, self._deliver_batch, accepted
             )
+            self._in_flight[id(accepted)] = (event, accepted)
 
     def _deliver_batch(self, pkts: list[Packet]) -> None:
+        self._in_flight.pop(id(pkts), None)
         self._queued -= len(pkts)
         self.stats.delivered += len(pkts)
         self.peer_dev.process_batch(pkts)
+
+    def set_down(self) -> None:
+        """Administratively down: refuse new sends, lose what is in flight."""
+        self.up = False
+        for event, pkts in self._in_flight.values():
+            event.cancel()
+            self._queued -= len(pkts)
+            self.stats.dropped += len(pkts)
+        self._in_flight.clear()
+        # The dropped packets' serialisation reservations die with them:
+        # after recovery the first send must not wait out a phantom
+        # backlog.
+        self._free_at_ns = 0
+
+    def set_up(self) -> None:
+        self.up = True
 
     @property
     def queue_depth(self) -> int:
@@ -112,6 +138,35 @@ class Link:
         dev_b.link_endpoint = self.b_to_a
         self.dev_a = dev_a
         self.dev_b = dev_b
+        # Carrier watchers: callables invoked as watcher(link, up) on
+        # set_down()/set_up().  This is the loss-of-light signal a
+        # control plane's fast-reroute layer subscribes to — strictly
+        # local knowledge, available immediately at both ends, unlike
+        # the remote failure knowledge an IGP must flood.
+        self.watchers: list = []
+
+    @property
+    def up(self) -> bool:
+        return self.a_to_b.up and self.b_to_a.up
+
+    def set_down(self) -> None:
+        """Fail the link in both directions, dropping in-flight packets."""
+        if not self.up:
+            return
+        self.a_to_b.set_down()
+        self.b_to_a.set_down()
+        for watcher in list(self.watchers):
+            watcher(self, False)
+
+    def set_up(self) -> None:
+        """Restore a failed link; deliveries resume with the next send."""
+        if self.up:
+            return
+        self.a_to_b.set_up()
+        self.b_to_a.set_up()
+        for watcher in list(self.watchers):
+            watcher(self, True)
 
     def __repr__(self) -> str:
-        return f"<Link {self.dev_a} <-> {self.dev_b}>"
+        state = "up" if self.up else "down"
+        return f"<Link {self.dev_a} <-> {self.dev_b} {state}>"

@@ -19,9 +19,57 @@ class Event:
     callback: Callable = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    # Daemon events (recurring-timer firings) don't count as pending
+    # work: a horizon-less run() returns once only daemons remain.
+    daemon: bool = field(compare=False, default=False)
+    # Owning scheduler while the event sits in the heap, so cancellation
+    # can be accounted without a scan; detached (None) once popped, so a
+    # late cancel() of an already-executed event is a no-op.
+    owner: "Scheduler | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._cancelled += 1
+                if not self.daemon:
+                    self.owner._work -= 1
+                self.owner = None
+
+
+class Timer:
+    """Handle for a recurring timer (see :meth:`Scheduler.every`).
+
+    ``cancel()`` stops the recurrence; the currently scheduled firing is
+    cancelled too, so a cancelled timer never runs again.
+    """
+
+    __slots__ = ("scheduler", "interval_ns", "callback", "args", "fires", "_event")
+
+    def __init__(self, scheduler: "Scheduler", interval_ns: int, callback: Callable, args: tuple):
+        self.scheduler = scheduler
+        self.interval_ns = max(1, int(interval_ns))
+        self.callback = callback
+        self.args = args
+        self.fires = 0
+        self._event: Event | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        # Re-arm before running the callback: a callback that raises does
+        # not silently kill the recurrence, and a callback that calls
+        # cancel() cancels the already-scheduled next firing.
+        self._event = self.scheduler._schedule_timer(self.interval_ns, self._fire)
+        self.fires += 1
+        self.callback(*self.args)
 
 
 class Scheduler:
@@ -33,6 +81,8 @@ class Scheduler:
         self._seq = itertools.count()
         self.events_run = 0
         self.events_coalesced = 0  # heap events saved by schedule_batch
+        self._cancelled = 0  # cancelled events still sitting in the heap
+        self._work = 0  # live non-daemon events in the heap
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay_ns: int, callback: Callable, *args) -> Event:
@@ -42,9 +92,33 @@ class Scheduler:
     def schedule_at(self, time_ns: int, callback: Callable, *args) -> Event:
         if time_ns < self.now_ns:
             raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now_ns})")
-        event = Event(int(time_ns), next(self._seq), callback, args)
+        event = Event(int(time_ns), next(self._seq), callback, args, owner=self)
+        self._work += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _schedule_timer(self, delay_ns: int, callback: Callable) -> Event:
+        """A daemon event: a timer firing that doesn't count as work."""
+        event = self.schedule(delay_ns, callback)
+        event.daemon = True
+        self._work -= 1
+        return event
+
+    def every(self, interval_ns: int, callback: Callable, *args) -> Timer:
+        """Run ``callback(*args)`` every ``interval_ns``, starting one
+        interval from now.  Returns a :class:`Timer` handle; ``cancel()``
+        stops the recurrence.  This is what periodic protocol machinery
+        (IGP hellos, dead-interval scans) should use instead of
+        hand-rolled reschedule loops.
+
+        Timer firings are **daemon** events — like daemon threads, they
+        keep running while anything else does, but a horizon-less
+        ``run()`` returns once only timers remain, so an armed control
+        plane cannot wedge ``net.run()`` forever.
+        """
+        timer = Timer(self, interval_ns, callback, args)
+        timer._event = self._schedule_timer(timer.interval_ns, timer._fire)
+        return timer
 
     def schedule_batch(
         self, time_ns: int, callback: Callable, items: list, *args
@@ -67,20 +141,31 @@ class Scheduler:
         Returns the number of events executed.
         """
         executed = 0
+        budget_hit = False
         while self._heap:
             if max_events is not None and executed >= max_events:
+                budget_hit = True
                 break
+            if until_ns is None and self._work == 0:
+                break  # only daemon timers (and corpses) remain
             event = self._heap[0]
             if until_ns is not None and event.time_ns > until_ns:
                 break
             heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.owner = None
+            if not event.daemon:
+                self._work -= 1
             self.now_ns = event.time_ns
             event.callback(*event.args)
             executed += 1
             self.events_run += 1
-        if until_ns is not None and self.now_ns < until_ns:
+        # Fast-forward to the horizon — unless the event budget cut the
+        # run short with pre-horizon events still queued, in which case
+        # jumping the clock would make those events run in the past.
+        if until_ns is not None and not budget_hit and self.now_ns < until_ns:
             self.now_ns = until_ns
         return executed
 
@@ -89,7 +174,8 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (non-cancelled) events in the heap — O(1), not a scan."""
+        return len(self._heap) - self._cancelled
 
     def now_fn(self) -> Callable[[], int]:
         """A clock callable suitable for ``Node(clock_ns=...)``."""

@@ -1,0 +1,160 @@
+"""IGP speakers end to end: hellos over real links, flooding, SPF
+programming through the textual plane, dead-interval detection."""
+
+import pytest
+
+from repro.lab import Network
+from repro.net import pton
+from repro.sim.scheduler import NS_PER_MS
+
+
+def triangle(seed=1, **ctrl_kwargs):
+    net = Network(seed=seed)
+    for name, addr in (("A", "fc00:a::1"), ("B", "fc00:b::1"), ("C", "fc00:c::1")):
+        net.add_node(name, addr=addr)
+    net.add_link("A", "B")
+    net.add_link("B", "C")
+    net.add_link("A", "C")
+    return net, net.ctrl(**ctrl_kwargs)
+
+
+def test_converges_and_programs_routes_through_the_plane():
+    net, ctrl = triangle()
+    net.run(until_ms=500)
+    assert ctrl.converged()
+    # Every node can resolve every other node's address.
+    for src in "ABC":
+        for dst in "ABC":
+            if src == dst:
+                continue
+            route = net[src].main_table().lookup(pton(f"fc00:{dst.lower()}::1"))
+            assert route is not None and not route.local, (src, dst)
+    # Converged state is textual-plane state: the dump replays verbatim
+    # onto a fresh node.
+    shown = net.config("A", "route show")
+    assert any("fc00:b::1/128 via fc00:b::1" in line for line in shown)
+    replica = Network()
+    replica.add_node("A2", addr=(), devices=("eth0", "eth1"))
+    for line in shown:
+        replica.config("A2", f"route add {line}")
+    assert replica.config("A2", "route show") == shown
+
+
+def test_sids_installed_and_propagated():
+    net, ctrl = triangle()
+    net.run(until_ms=500)
+    # Each node holds its own SIDs as seg6local actions...
+    own = net.config("A", "route show")
+    assert any("encap seg6local action End.DT6 table 254" in l for l in own)
+    assert any(
+        "encap seg6local action End" in l and "DT6" not in l for l in own
+    )
+    # ... and routes to everyone else's.
+    assert net["A"].main_table().lookup(pton(ctrl.sids["C"])) is not None
+
+
+def test_spf_runs_coalesce():
+    net, ctrl = triangle(spf_delay_ns=20 * NS_PER_MS)
+    net.run(until_ms=500)
+    # Six adjacency-ups and six LSAs land in far fewer SPF runs.
+    assert ctrl.bus.count("adjacency-up") == 6
+    assert ctrl.bus.count("spf-run") <= 9
+
+
+def test_dead_interval_detection_and_reconvergence():
+    net, ctrl = triangle()
+    net.run(until_ms=500)
+    before = net["A"].main_table().lookup(pton("fc00:b::1"))
+    assert before.nexthops[0].dev == "eth0"  # direct A—B
+    net.fail_link("A", "B", at_ns=net.now_ns)
+    net.run(until_ms=1500)
+    assert ctrl.bus.count("adjacency-down") == 2  # both ends noticed
+    after = net["A"].main_table().lookup(pton("fc00:b::1"))
+    assert after.nexthops[0].dev == "eth1"  # detour via C
+    down = ctrl.bus.last("adjacency-down", "A")
+    # Detection cost ≈ the dead interval after the failure instant.
+    assert down.time_ns - 500 * NS_PER_MS <= ctrl.dead_interval_ns + 2 * ctrl.hello_interval_ns
+
+
+def test_recovery_restores_direct_route():
+    net, ctrl = triangle()
+    net.run(until_ms=500)
+    net.fail_link("A", "B", at_ns=net.now_ns)
+    net.run(until_ms=1500)
+    net.recover_link("A", "B", at_ns=net.now_ns)
+    net.run(until_ms=2500)
+    assert ctrl.converged()
+    route = net["A"].main_table().lookup(pton("fc00:b::1"))
+    assert route.nexthops[0].dev == "eth0"
+
+
+def test_withdraw_on_partition():
+    net = Network(seed=1)
+    net.add_node("A", addr="fc00:a::1")
+    net.add_node("B", addr="fc00:b::1")
+    net.add_link("A", "B")
+    ctrl = net.ctrl()
+    net.run(until_ms=500)
+    assert net["A"].main_table().lookup(pton("fc00:b::1")) is not None
+    net.fail_link("A", "B", at_ns=net.now_ns)
+    net.run(until_ms=2000)
+    # B is unreachable: its prefixes are withdrawn, not left dangling.
+    assert net["A"].main_table().lookup(pton("fc00:b::1")) is None
+
+
+def test_costs_steer_path_selection():
+    net = Network(seed=1)
+    for name, addr in (("A", "fc00:a::1"), ("B", "fc00:b::1"), ("C", "fc00:c::1")):
+        net.add_node(name, addr=addr)
+    net.add_link("A", "B")  # A.eth0
+    net.add_link("B", "C")
+    net.add_link("A", "C")  # A.eth1
+    net.ctrl(costs={("A", "eth0"): 100, ("B", "eth0"): 100})
+    net.run(until_ms=500)
+    # The expensive direct link loses to the two-hop detour via C.
+    route = net["A"].main_table().lookup(pton("fc00:b::1"))
+    assert route.nexthops[0].dev == "eth1"
+
+
+def test_ecmp_programmed_as_multipath_route():
+    net = Network(seed=1)
+    for name in ("A", "B", "C", "D"):
+        net.add_node(name, addr=f"fc00:{name.lower()}::1")
+    net.add_link("A", "B")
+    net.add_link("A", "C")
+    net.add_link("B", "D")
+    net.add_link("C", "D")
+    net.ctrl()
+    net.run(until_ms=500)
+    route = net["A"].main_table().lookup(pton("fc00:d::1"))
+    assert len(route.nexthops) == 2
+    shown = [l for l in net.config("A", "route show") if l.startswith("fc00:d::1")]
+    assert shown and shown[0].count("nexthop") == 2
+
+
+def test_advertise_extra_prefixes():
+    net = Network(seed=1)
+    net.add_node("A", addr="fc00:a::1")
+    net.add_node("B", addr="fc00:b::1")
+    net.add_link("A", "B")
+    net.ctrl(advertise={"B": ("fc00:2::/64",)})
+    net.run(until_ms=500)
+    assert net["A"].main_table().lookup(pton("fc00:2::42")) is not None
+
+
+def test_second_ctrl_rejected():
+    net, _ctrl = triangle()
+    with pytest.raises(RuntimeError, match="already has a control plane"):
+        net.ctrl()
+
+
+def test_event_bus_log_is_queryable():
+    net, ctrl = triangle()
+    net.run(until_ms=500)
+    seen = []
+    ctrl.bus.subscribe("carrier-down", lambda e: seen.append(e))
+    net.fail_link("A", "B", at_ns=net.now_ns)
+    net.run(until_ms=600)
+    assert len(seen) == 2 and {e.node for e in seen} == {"A", "B"}
+    assert ctrl.bus.count("carrier-down", "A") == 1
+    assert "carrier-down" in ctrl.bus.dump()

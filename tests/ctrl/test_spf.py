@@ -1,0 +1,167 @@
+"""Pure graph layer: LSDB freshness/two-way rules, ECMP SPF, TI-LFA."""
+
+import pytest
+
+from repro.ctrl.spf import (
+    AdjacencyInfo,
+    LinkStateDb,
+    Lsa,
+    run_spf,
+    tilfa_repair,
+)
+
+
+def build_lsdb(links, prefixes=None):
+    """links: (a, b, cost) or (a, b, cost_ab, cost_ba); devices are
+    auto-named eth0, eth1, … per node in declaration order."""
+    adjacencies: dict[str, list[AdjacencyInfo]] = {}
+    dev_count: dict[str, int] = {}
+
+    def next_dev(node):
+        n = dev_count.get(node, 0)
+        dev_count[node] = n + 1
+        return f"eth{n}"
+
+    for link in links:
+        a, b, cost_ab = link[0], link[1], link[2]
+        cost_ba = link[3] if len(link) > 3 else cost_ab
+        dev_a, dev_b = next_dev(a), next_dev(b)
+        adjacencies.setdefault(a, []).append(
+            AdjacencyInfo(b, cost_ab, dev_a, f"fc00:{b.lower()}::1", dev_b)
+        )
+        adjacencies.setdefault(b, []).append(
+            AdjacencyInfo(a, cost_ba, dev_b, f"fc00:{a.lower()}::1", dev_a)
+        )
+    lsdb = LinkStateDb()
+    for index, node in enumerate(sorted(adjacencies), start=1):
+        lsdb.insert(
+            Lsa(
+                origin=node,
+                seq=1,
+                adjacencies=tuple(adjacencies[node]),
+                prefixes=tuple((prefixes or {}).get(node, (f"fc00:{node.lower()}::1/128",))),
+                sid=f"fcff:{index:x}::e",
+                dt6_sid=f"fcff:{index:x}::d",
+            )
+        )
+    return lsdb
+
+
+def test_insert_freshness_rule():
+    lsdb = LinkStateDb()
+    assert lsdb.insert(Lsa("A", seq=2))
+    assert not lsdb.insert(Lsa("A", seq=2))  # same seq: stale
+    assert not lsdb.insert(Lsa("A", seq=1))  # older: stale
+    assert lsdb.insert(Lsa("A", seq=3))
+    assert lsdb.get("A").seq == 3
+
+
+def test_two_way_check_drops_half_dead_adjacency():
+    lsdb = LinkStateDb()
+    lsdb.insert(
+        Lsa("A", 1, (AdjacencyInfo("B", 10, "eth0", "fc00:b::1", "eth0"),))
+    )
+    lsdb.insert(Lsa("B", 1, ()))  # B does not hear A
+    assert lsdb.graph()["A"] == []
+    result = run_spf(lsdb, "A")
+    assert not result.reachable("B")
+
+
+def test_wire_round_trip():
+    lsdb = build_lsdb([("A", "B", 10)])
+    lsa = lsdb.get("A")
+    assert Lsa.from_wire(lsa.to_wire()) == lsa
+
+
+def test_spf_picks_cheapest_path():
+    lsdb = build_lsdb([("A", "B", 10), ("B", "C", 10), ("A", "C", 30)])
+    result = run_spf(lsdb, "A")
+    assert result.dist["C"] == 20
+    assert [h.neighbor for h in result.first_hops["C"]] == ["B"]
+    assert result.one_path("C") == ["A", "B", "C"]
+
+
+def test_spf_ecmp_keeps_all_equal_cost_first_hops():
+    lsdb = build_lsdb(
+        [("A", "B", 10), ("A", "C", 10), ("B", "D", 10), ("C", "D", 10)]
+    )
+    result = run_spf(lsdb, "A")
+    assert result.dist["D"] == 20
+    assert sorted(h.neighbor for h in result.first_hops["D"]) == ["B", "C"]
+
+
+def test_spf_parallel_links_ecmp_by_device():
+    lsdb = build_lsdb([("A", "B", 10), ("A", "B", 10)])
+    result = run_spf(lsdb, "A")
+    assert len(result.first_hops["B"]) == 2
+    assert {h.dev for h in result.first_hops["B"]} == {"eth0", "eth1"}
+
+
+def test_spf_exclusion_is_per_adjacency_not_per_pair():
+    lsdb = build_lsdb([("A", "B", 10), ("A", "B", 20)])
+    result = run_spf(lsdb, "A", exclude=frozenset({("A", "eth0")}))
+    assert result.dist["B"] == 20  # the parallel sibling survives
+    assert result.first_hops["B"][0].dev == "eth1"
+
+
+def test_dag_edges_cover_every_ecmp_path():
+    lsdb = build_lsdb(
+        [("A", "B", 10), ("A", "C", 10), ("B", "D", 10), ("C", "D", 10)]
+    )
+    edges = run_spf(lsdb, "A").dag_edges_to("D")
+    # Both diamond arms appear, identified by (node, egress dev).
+    assert ("A", "eth0") in edges and ("A", "eth1") in edges
+
+
+def test_tilfa_simple_detour():
+    # A—B—D primary (cost 10+10), A—C—D detour (30+30): protect A—B.
+    lsdb = build_lsdb(
+        [("A", "B", 10), ("B", "D", 10), ("A", "C", 30), ("C", "D", 30)]
+    )
+    repair = tilfa_repair(lsdb, "A", "D", "eth0")
+    assert repair is not None
+    # C's pre-failure shortest path to D avoids A—B, so C releases.
+    assert repair.release_points == ("C",)
+    assert repair.first_hop.neighbor == "C"
+
+
+def test_tilfa_parallel_link_uses_sibling():
+    lsdb = build_lsdb([("A", "B", 10), ("A", "B", 20), ("B", "C", 10)])
+    repair = tilfa_repair(lsdb, "A", "C", "eth0")
+    assert repair is not None
+    assert repair.release_points == ("B",)
+    assert repair.first_hop.dev == "eth1"  # the surviving twin
+
+
+def test_tilfa_needs_multiple_segments_on_ring():
+    # 5-ring with a heavy shortcut nowhere: protecting A—B for dest B
+    # forces the repair the long way round; intermediate nodes' own
+    # shortest paths to B would U-turn over the failed link, so more
+    # than one release point is required.
+    lsdb = build_lsdb(
+        [("A", "B", 10), ("B", "C", 10), ("C", "D", 10), ("D", "E", 10), ("E", "A", 10)]
+    )
+    repair = tilfa_repair(lsdb, "A", "B", "eth0")
+    assert repair is not None
+    assert repair.first_hop.neighbor == "E"
+    # E's own shortest path to B U-turns over A—B, so E cannot be the
+    # final release point: a second segment (C) is required, from which
+    # normal routing reaches B clean.
+    assert repair.release_points == ("E", "C")
+
+
+def test_tilfa_unprotectable_when_partitioned():
+    lsdb = build_lsdb([("A", "B", 10), ("B", "C", 10)])
+    assert tilfa_repair(lsdb, "A", "C", "eth0") is None
+
+
+@pytest.mark.parametrize("protect_dev", ["eth0", "eth1"])
+def test_tilfa_repair_path_actually_avoids_failed_adjacency(protect_dev):
+    lsdb = build_lsdb(
+        [("A", "B", 10), ("A", "C", 10), ("B", "D", 10), ("C", "D", 10)]
+    )
+    repair = tilfa_repair(lsdb, "A", "D", protect_dev)
+    assert repair is not None
+    # The diamond's other arm is the release point.
+    expected = "C" if protect_dev == "eth0" else "B"
+    assert repair.release_points == (expected,)

@@ -243,6 +243,70 @@ def test_shared_object_registry_sees_late_loads():
     assert isinstance(route.encap, EndBPF)
 
 
+# --- round-tripping under churn (the control plane's write pattern) -----------
+
+
+def replay_equals_shown(ip):
+    """Replay the current dump onto a fresh node; both dumps must match."""
+    shown = ip.route_show()
+    replica = IpRoute(Node("replica"), objects=ip.objects)
+    replica.node.add_device("eth0")
+    replica.node.add_device("eth1")
+    for line in shown:
+        replica.route_add(line)
+    assert replica.route_show() == shown
+    return shown
+
+
+CHURN = [
+    "route add fc00:2::/64 via fc00:2::1 dev eth1",
+    "route add fc00:5::/64 nexthop via fc00::a dev eth0 weight 2 "
+    "nexthop via fc00::b dev eth1 weight 1",
+    "route add fc00:3::/64 encap seg6 mode encap segs fc00::a,fc00::b dev eth1",
+    "route replace fc00:5::/64 nexthop via fc00::a dev eth0 weight 1 "
+    "nexthop via fc00::c dev eth1 weight 1",
+    "route replace fc00:2::/64 encap seg6 mode encap segs fcff:1::d",
+    "route del fc00:3::/64",
+    "route add fc00:3::/64 encap seg6 mode inline segs fc00::c dev eth1",
+    "route replace fc00:3::/64 via fc00:3::9 dev eth0",
+    "route del fc00:5::/64",
+    "route add fc00:5::/64 encap seg6 mode encap segs fc00::d "
+    "nexthop via fc00::a dev eth0 nexthop via fc00::b dev eth1",
+    "route replace fc00:2::/64 via fc00:2::1 dev eth1",
+    "route del fc00:2::/64",
+]
+
+
+def test_churn_round_trips_after_every_step(ip):
+    """ECMP and seg6-encap replace/del interleaved: the dump re-parses to
+    identical state after *every* mutation — the property the IGP's
+    route programming relies on."""
+    for command in CHURN:
+        ip.execute(command)
+        replay_equals_shown(ip)
+
+
+def test_churn_end_state_is_exact(ip):
+    for command in CHURN:
+        ip.execute(command)
+    shown = replay_equals_shown(ip)
+    assert "fc00:2::/64" not in " ".join(shown)
+    assert any(
+        line.startswith("fc00:5::/64 encap seg6") and line.count("nexthop") == 2
+        for line in shown
+    )
+
+
+def test_replace_churn_bumps_generation_for_flow_table(ip):
+    """Every replace/del invalidates memoised lookups (generation bump)."""
+    table = ip.node.main_table()
+    generation = table.generation
+    ip.execute("route add fc00:2::/64 via fc00:2::1 dev eth1")
+    ip.execute("route replace fc00:2::/64 via fc00:2::9 dev eth0")
+    ip.execute("route del fc00:2::/64")
+    assert table.generation == generation + 3
+
+
 def test_route_del_accepts_metric_selector(ip):
     ip.route_add("fc00:2::/64 via fc00:2::1 dev eth1 metric 1024")
     ip.route_del("fc00:2::/64 metric 1024")

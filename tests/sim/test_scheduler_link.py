@@ -88,6 +88,100 @@ def test_max_events_budget():
     assert executed == 50
 
 
+def test_every_fires_at_fixed_interval():
+    sched = Scheduler()
+    ticks = []
+    sched.every(100, lambda: ticks.append(sched.now_ns))
+    sched.run(until_ns=550)
+    assert ticks == [100, 200, 300, 400, 500]
+
+
+def test_every_cancel_stops_recurrence():
+    sched = Scheduler()
+    ticks = []
+    timer = sched.every(100, lambda: ticks.append(sched.now_ns))
+    sched.run(until_ns=250)
+    assert timer.active and timer.fires == 2
+    timer.cancel()
+    assert not timer.active
+    sched.run()
+    assert ticks == [100, 200]
+
+
+def test_every_callback_can_cancel_itself():
+    sched = Scheduler()
+    ticks = []
+    timer = sched.every(100, lambda: (ticks.append(sched.now_ns), timer.cancel()))
+    sched.run(until_ns=1000)
+    assert ticks == [100]
+
+
+def test_timers_are_daemons_horizonless_run_returns():
+    """Armed recurring timers alone don't wedge a horizon-less run():
+    like daemon threads, they run while real work remains and are
+    abandoned once only they are left on the heap."""
+    sched = Scheduler()
+    ticks, work = [], []
+    sched.every(100, lambda: ticks.append(sched.now_ns))
+    sched.schedule(350, work.append, "done")
+    sched.run()  # returns — does not spin on the timer forever
+    assert work == ["done"]
+    assert ticks == [100, 200, 300]  # timers ran while work was pending
+    sched.run()  # nothing but the timer left: returns immediately
+    assert ticks == [100, 200, 300]
+
+
+def test_every_passes_args():
+    sched = Scheduler()
+    seen = []
+    sched.every(50, seen.append, "x")
+    sched.run(until_ns=120)
+    assert seen == ["x", "x"]
+
+
+def test_pending_is_constant_time_and_correct():
+    sched = Scheduler()
+    events = [sched.schedule(100 + i, lambda: None) for i in range(100)]
+    assert sched.pending == 100
+    for event in events[:40]:
+        event.cancel()
+    assert sched.pending == 60
+    events[0].cancel()  # double-cancel must not double-count
+    assert sched.pending == 60
+    sched.run()
+    assert sched.pending == 0
+
+
+def test_event_budget_break_does_not_fast_forward_past_queued_events():
+    """max_events cutting a horizoned run short must not jump the clock
+    past events still queued before the horizon (time would regress)."""
+    sched = Scheduler()
+    times = []
+    sched.schedule(100, lambda: times.append(sched.now_ns))
+    sched.schedule(200, lambda: times.append(sched.now_ns))
+    sched.run(until_ns=1000, max_events=1)
+    assert sched.now_ns == 100  # not 1000: an event at 200 is still queued
+    sched.run(until_ns=1000)
+    assert times == [100, 200]
+    assert sched.now_ns == 1000  # clean finish does fast-forward
+
+
+def test_cancelling_an_executed_event_does_not_corrupt_pending():
+    """Stale-handle cancels (OAM timeouts, TCP RTO re-arms cancel events
+    that already fired) must not skew the pending accounting."""
+    sched = Scheduler()
+    stale = sched.schedule(10, lambda: None)
+    sched.run()
+    stale.cancel()
+    stale.cancel()
+    assert sched.pending == 0
+    follow = sched.schedule(10, lambda: None)
+    assert sched.pending == 1  # not 0: the late cancel was a no-op
+    follow.cancel()
+    assert sched.pending == 0
+    assert sched.run() == 0
+
+
 # --- links -------------------------------------------------------------------
 
 
@@ -140,6 +234,64 @@ def test_link_queue_limit_drops():
     sched.run()
     assert link.a_to_b.stats.dropped == 5
     assert link.a_to_b.stats.delivered == 5
+
+
+def test_link_down_drops_in_flight_and_new_sends():
+    sched, a, b = two_nodes()
+    link = Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e9, delay_ns=1 * NS_PER_MS)
+    seen = []
+    b.bind(lambda pkt, node: seen.append(sched.now_ns), proto=17, port=5)
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"x" * 100))
+    # The packet is serialised and propagating; kill the link under it.
+    sched.run(until_ns=NS_PER_MS // 2)
+    assert link.up
+    link.set_down()
+    assert not link.up
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"y" * 100))
+    sched.run()
+    assert seen == []  # neither the in-flight nor the new packet arrived
+    assert link.a_to_b.stats.dropped == 2
+    assert link.a_to_b.queue_depth == 0
+
+
+def test_link_down_clears_serialisation_backlog():
+    """Packets dropped at set_down() release their tx reservations: the
+    first post-recovery send must not wait out a phantom backlog."""
+    sched, a, b = two_nodes()
+    # 8 kb/s: each 100-byte payload (~148 wire bytes) holds the line for
+    # ~148 ms, so 5 queued packets reserve ~740 ms of serialisation.
+    link = Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=8e3, delay_ns=1000)
+    arrivals = []
+    b.bind(lambda pkt, node: arrivals.append(sched.now_ns), proto=17, port=5)
+    for _ in range(5):
+        a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"x" * 100))
+    sched.run(until_ns=NS_PER_MS)
+    link.set_down()
+    link.set_up()
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b"y" * 100))
+    sched.run()
+    # The new packet serialises from 'now', not after the dead backlog.
+    assert len(arrivals) == 1
+    assert arrivals[0] < 200 * NS_PER_MS
+
+
+def test_link_recovery_resumes_delivery_and_notifies_watchers():
+    sched, a, b = two_nodes()
+    link = Link(sched, a.devices["eth0"], b.devices["eth0"], rate_bps=1e9, delay_ns=100)
+    transitions = []
+    link.watchers.append(lambda lnk, up: transitions.append((sched.now_ns, up)))
+    seen = []
+    b.bind(lambda pkt, node: seen.append(1), proto=17, port=5)
+    link.set_down()
+    link.set_down()  # idempotent: watchers fire once
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b""))
+    sched.run()
+    assert seen == []
+    link.set_up()
+    a.send(make_udp_packet("fc00::a", "fc00::b", 1, 5, b""))
+    sched.run()
+    assert seen == [1]
+    assert [up for _t, up in transitions] == [False, True]
 
 
 def test_link_is_bidirectional():

@@ -65,6 +65,19 @@ def test_hybrid_access_runs(capsys):
     assert "compensating link" in out
 
 
+def test_frr_reroute_runs(capsys):
+    """The control-plane example: IGP convergence, then TI-LFA reroute."""
+    load("frr_reroute").main()
+    out = capsys.readouterr().out
+    assert "--- IGP only ---" in out
+    assert "--- FRR armed ---" in out
+    # Converged primary path, and a seg6 repair visible right after the
+    # carrier event in the FRR pass.
+    assert "A's converged route: fc00:d::1/128 via" in out
+    assert "encap seg6 mode encap segs" in out
+    assert "frr fired on A" in out
+
+
 # Keep this in sync with the per-example tests above: the quickstart
 # commands in README.md point at these scripts, so every script must have
 # an executing smoke test here — docs can't rot silently.
@@ -74,6 +87,7 @@ EXERCISED = {
     "service_chaining",
     "delay_monitoring",
     "hybrid_access",
+    "frr_reroute",
 }
 
 
