@@ -1,0 +1,17 @@
+"""Repo-root pytest configuration.
+
+Lives at the root (not under ``tests/``) so the option is registered
+whichever test path is given on the command line — pytest only honours
+``pytest_addoption`` in *initial* conftests.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the eBPF corpus .expected golden files from current "
+        "toolchain output instead of asserting against them "
+        "(see tests/ebpf/test_corpus.py and CONTRIBUTING.md)",
+    )

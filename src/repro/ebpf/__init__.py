@@ -36,6 +36,7 @@ from .errors import (
     BpfError,
     EncodingError,
     HelperError,
+    LinkError,
     MapError,
     MemoryFault,
     VerifierError,
@@ -61,6 +62,7 @@ from .maps import (
 )
 from .memory import Memory, Region
 from .program import Program
+from .text import LinkedProgram, TextObject, link, load_text, parse_asm
 from .verifier import Verifier, verify_program
 from .vm import Interpreter
 
@@ -89,6 +91,8 @@ __all__ = [
     "Instruction",
     "Interpreter",
     "JitProgram",
+    "LinkError",
+    "LinkedProgram",
     "LpmTrieMap",
     "Map",
     "MapError",
@@ -99,6 +103,7 @@ __all__ = [
     "Program",
     "Region",
     "SkbContext",
+    "TextObject",
     "Verifier",
     "VerifierError",
     "VmFault",
@@ -107,6 +112,9 @@ __all__ = [
     "decode_program",
     "disassemble",
     "encode_program",
+    "link",
+    "load_text",
+    "parse_asm",
     "register_helper",
     "verify_program",
 ]

@@ -15,7 +15,9 @@ def disassemble_insn(insn: Instruction, slot: int = 0) -> str:
         if insn.src_reg == isa.BPF_PSEUDO_MAP_FD:
             target = insn.map_ref if insn.map_ref else f"fd{insn.imm64}"
             return f"lddw r{insn.dst_reg}, map:{target}"
-        return f"lddw r{insn.dst_reg}, {insn.imm64:#x}"
+        # Hand-built lddws may carry a plain 32-bit imm with imm64 unset.
+        value = insn.imm64 if insn.imm64 is not None else insn.imm & isa.U64
+        return f"lddw r{insn.dst_reg}, {value:#x}"
 
     if klass in (isa.BPF_ALU, isa.BPF_ALU64):
         op = insn.opcode & isa.OP_MASK
@@ -70,7 +72,15 @@ def disassemble_insn(insn: Instruction, slot: int = 0) -> str:
 
 
 def disassemble(insns: list[Instruction]) -> str:
-    """Disassemble a full program with slot labels on jump targets."""
+    """Disassemble a full program with slot labels on jump targets.
+
+    The output is a closed loop with :func:`repro.ebpf.asm.assemble`:
+    every emitted label is defined (a branch to the slot one past the
+    last instruction gets a trailing label line, which the assembler
+    accepts), and branches that point outside the program raise
+    :class:`~repro.ebpf.errors.EncodingError` rather than emitting an
+    unresolvable ``L`` symbol.
+    """
     slots = flatten(insns)
     targets: set[int] = set()
     for slot, insn in enumerate(slots):
@@ -79,13 +89,24 @@ def disassemble(insns: list[Instruction]) -> str:
         op = insn.opcode & isa.OP_MASK
         if op in (isa.BPF_CALL, isa.BPF_EXIT):
             continue
-        targets.add(slot + 1 + insn.off)
+        target = slot + 1 + insn.off
+        if not 0 <= target <= len(slots):
+            raise EncodingError(
+                f"slot {slot}: branch target {target} outside program"
+            )
+        targets.add(target)
 
     lines: list[str] = []
     for slot, insn in enumerate(slots):
         if insn is None:
+            if slot in targets:
+                raise EncodingError(
+                    f"slot {slot}: branch into the middle of an lddw"
+                )
             continue
         if slot in targets:
             lines.append(f"L{slot}:")
         lines.append("    " + disassemble_insn(insn, slot))
+    if len(slots) in targets:
+        lines.append(f"L{len(slots)}:")
     return "\n".join(lines) + "\n"

@@ -26,6 +26,17 @@ class EncodingError(BpfError):
     """Raised when an instruction cannot be encoded or decoded."""
 
 
+class LinkError(BpfError):
+    """Raised when assembled sections cannot be linked into a program.
+
+    Undefined or multiply-defined symbols, unresolvable map references
+    and map declarations that contradict a provided map all land here —
+    the moral equivalent of ``ld`` diagnostics, kept separate from
+    :class:`AsmError` (text that never parsed) and
+    :class:`VerifierError` (a linked program that is unsafe).
+    """
+
+
 class VerifierError(BpfError):
     """Raised when the static verifier rejects a program.
 

@@ -49,7 +49,11 @@ class Helper:
     ret: str = "scalar"
 
     def __call__(self, hctx: "HelperContext", *regs: int) -> int:
-        return self.fn(hctx, *regs[: len(self.args)])
+        args = regs[: len(self.args)]
+        ret = self.fn(hctx, *args)
+        if hctx.helper_trace is not None:
+            hctx.helper_trace.append((self.name, tuple(args), ret))
+        return ret
 
 
 HELPERS_BY_ID: dict[int, Helper] = {}
@@ -102,6 +106,12 @@ class HelperContext:
         self.rng = rng or random.Random(0)
         self.cpu = cpu
         self.trace_log: list[str] = []
+        # Opt-in call tracing: set to a list and every helper invocation
+        # appends ``(name, args, ret)``.  Both engines dispatch through
+        # :meth:`Helper.__call__`, so traces are engine-comparable — the
+        # differential corpus and fuzzer rely on this.  ``None`` (the
+        # default) keeps the hot path to a single identity check.
+        self.helper_trace: list[tuple] | None = None
         self._scratch_cursor = SCRATCH_BASE
         # Networking hooks populate these:
         self.packet = None
@@ -127,6 +137,7 @@ class HelperContext:
         self.rng = rng or random.Random(0)
         self.cpu = cpu
         self.trace_log.clear()
+        self.helper_trace = None
         self._scratch_cursor = SCRATCH_BASE
         self.packet = None
         self.node = None

@@ -34,6 +34,7 @@ keeps a builder-made network byte-identical to hand-wired code.
 from __future__ import annotations
 
 import zlib
+from pathlib import Path
 from typing import Iterable
 
 from ..ebpf import Program
@@ -326,8 +327,26 @@ class Network:
         return target.cpu
 
     # -- configuration plane ----------------------------------------------------
-    def load(self, name: str, program: Program) -> Program:
-        """Register an eBPF object so ``config`` can reference ``obj <name>``."""
+    def load(self, name: str, program, maps=None, jit: bool = True) -> Program:
+        """Register an eBPF object so ``config`` can reference ``obj <name>``.
+
+        ``program`` is either an already-loaded
+        :class:`~repro.ebpf.program.Program`, or eBPF assembly text in the
+        kernel ``.s`` syntax (see :mod:`repro.ebpf.text`) — the textual
+        path assembles, links and verifies here, so a bad source fails at
+        ``load`` time with an ``AsmError``/``LinkError``/``VerifierError``
+        rather than when a route first references it.  A
+        :class:`pathlib.Path` is read as a ``.s`` file.  ``maps`` supplies
+        pre-created map instances to textual programs (by symbol name).
+        """
+        if isinstance(program, Path):
+            program = program.read_text()
+        if isinstance(program, str):
+            from ..ebpf.text import load_text
+
+            program = load_text(program, maps=maps, name=name, jit=jit)
+        elif maps is not None:
+            raise TypeError("maps= only applies to textual .s programs")
         self.objects[name] = program
         return program
 

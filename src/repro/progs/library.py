@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..ebpf import ArrayMap, PerfEventArrayMap, Program
+from ..ebpf.text import load_text
 from ..net.addr import as_addr
 from ..net.seg6_helpers import LWT_HELPERS, SEG6LOCAL_HELPERS
 
@@ -624,3 +626,34 @@ def end_oamp_prog(oamp_events: PerfEventArrayMap, jit: bool = True) -> Program:
         jit=jit,
         allowed_helpers=SEG6LOCAL_HELPERS,
     )
+
+
+# ---------------------------------------------------------------------------
+# Textual (.s) editions of the library programs
+# ---------------------------------------------------------------------------
+
+#: ``.s`` sources for the programs above, in the kernel-style syntax of
+#: :mod:`repro.ebpf.text`.  Each assembles byte-identical to its classic
+#: counterpart (tests/ebpf/test_easm.py pins this), so either frontend
+#: may be used interchangeably — and each ``.s`` file carries its hook in
+#: a ``.hook`` directive, from which ``asm_prog`` derives the helper set.
+ASM_DIR = Path(__file__).parent / "asm"
+
+
+def asm_text(name: str) -> str:
+    """Return the ``.s`` source of a library program (e.g. ``"wrr"``)."""
+    path = ASM_DIR / f"{name}.s"
+    if not path.exists():
+        available = ", ".join(sorted(p.stem for p in ASM_DIR.glob("*.s")))
+        raise KeyError(f"no library asm program {name!r} (have: {available})")
+    return path.read_text()
+
+
+def asm_prog(name: str, maps=None, jit: bool = True) -> Program:
+    """Load a library program from its ``.s`` edition.
+
+    ``maps`` supplies pre-created map instances by symbol name (e.g. the
+    WRR scheduler's ``wrr_config``/``wrr_state``); maps declared in the
+    source but not provided are instantiated from their declarations.
+    """
+    return load_text(asm_text(name), maps=maps, name=name, jit=jit)

@@ -1,0 +1,8 @@
+; 32-bit arithmetic wraps at 2^32 and zero-extends into the 64-bit view
+    w1 = -1
+    w1 += 1
+    w2 = 0x7fffffff
+    w2 += 1
+    r0 = r1
+    r0 += r2
+    exit

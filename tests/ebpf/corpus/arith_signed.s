@@ -1,0 +1,15 @@
+; arithmetic shift and signed comparisons
+    r1 = -8
+    r1 s>>= 1
+    r2 = 5
+    r2 = -r2
+    if r1 s< 0 goto neg
+    r0 = 0
+    exit
+neg:
+    if r2 s<= -1 goto both
+    r0 = 1
+    exit
+both:
+    r0 = 2
+    exit

@@ -1,0 +1,14 @@
+; all six endianness conversions
+    r1 = 0x1234
+    r1 = be16 r1
+    r2 = 0xeadbeef
+    r2 = be32 r2
+    r3 = 0x11223344
+    r3 = be64 r3
+    r4 = 0xcafe
+    r4 = le16 r4
+    r0 = r1
+    r0 += r2
+    r0 += r3
+    r0 += r4
+    exit

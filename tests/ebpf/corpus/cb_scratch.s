@@ -1,0 +1,10 @@
+; the cb[] scratch area is read-write, by register and by immediate
+    r6 = r1
+    r2 = 0x11
+    *(u64 *)(r6 + 32) = r2
+    *(u64 *)(r6 + 40) = 0x22
+    r3 = *(u64 *)(r6 + 32)
+    r4 = *(u64 *)(r6 + 40)
+    r0 = r3
+    r0 += r4
+    exit

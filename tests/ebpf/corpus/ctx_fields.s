@@ -1,0 +1,13 @@
+; every whitelisted __sk_buff field, reads and writes
+    r6 = r1
+    r2 = *(u32 *)(r6 + 0)
+    r3 = *(u32 *)(r6 + 4)
+    r4 = *(u32 *)(r6 + 12)
+    *(u32 *)(r6 + 8) = 42
+    r5 = *(u32 *)(r6 + 8)
+    *(u64 *)(r6 + 32) = r2
+    r0 = *(u64 *)(r6 + 32)
+    r0 += r3
+    r0 += r4
+    r0 += r5
+    exit

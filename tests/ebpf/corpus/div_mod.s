@@ -1,0 +1,11 @@
+; unsigned division and modulo, 64- and 32-bit
+    r1 = 100
+    r1 /= 7
+    r2 = 100
+    r2 %= 9
+    w3 = 50
+    w3 /= 5
+    r0 = r1
+    r0 += r2
+    r0 += r3
+    exit

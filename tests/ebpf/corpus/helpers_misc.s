@@ -1,0 +1,13 @@
+; every generic no-argument helper plus the ctx-taking timestamp helper
+    r6 = r1
+    call ktime_get_ns
+    r7 = r0
+    call get_prandom_u32
+    r7 += r0
+    call get_smp_processor_id
+    r7 += r0
+    r1 = r6
+    call skb_rx_timestamp
+    r7 += r0
+    r0 = r7
+    exit

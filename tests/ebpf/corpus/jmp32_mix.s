@@ -1,0 +1,13 @@
+; jmp32: comparisons on the low 32 bits, unsigned and signed
+    w2 = -1
+    if w2 > 10 goto big
+    r0 = 0
+    exit
+big:
+    w3 = 7
+    if w3 s< 8 goto less
+    r0 = 1
+    exit
+less:
+    r0 = 2
+    exit

@@ -1,0 +1,12 @@
+; a chain of unsigned comparisons against the packet length
+    r1 = *(u32 *)(r1 + 0)
+    if r1 < 40 goto small
+    if r1 < 100 goto mid
+    r0 = 3
+    exit
+mid:
+    r0 = 2
+    exit
+small:
+    r0 = 1
+    exit

@@ -1,0 +1,12 @@
+; jset tests bits without clobbering the operand
+    r2 = *(u32 *)(r1 + 8)
+    if r2 & 1 goto odd
+    r0 = 0
+    exit
+odd:
+    if r2 & 0x100 goto both
+    r0 = 1
+    exit
+both:
+    r0 = 2
+    exit

@@ -1,0 +1,10 @@
+; 64-bit immediates: split a wide constant into halves and recombine
+    r1 = 0x123456789abcdef0 ll
+    r2 = r1
+    r2 >>= 32
+    r3 = r1
+    r3 <<= 32
+    r3 >>= 32
+    r0 = r2
+    r0 ^= r3
+    exit

@@ -1,0 +1,14 @@
+; array-map counter: lookup, NULL check, read-modify-write
+.map hits, array, key=4, value=8, entries=1
+    *(u32 *)(r10 - 4) = 0
+    r1 = hits ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r1 = *(u64 *)(r0 + 0)
+    r1 += 1
+    *(u64 *)(r0 + 0) = r1
+out:
+    r0 = 0
+    exit

@@ -1,0 +1,23 @@
+; hash map keyed by packet length: update then read back
+.map flows, hash, key=4, value=8, entries=8
+    r6 = r1
+    r2 = *(u32 *)(r6 + 0)
+    *(u32 *)(r10 - 4) = r2
+    *(u64 *)(r10 - 16) = 1
+    r1 = flows ll
+    r2 = r10
+    r2 += -4
+    r3 = r10
+    r3 += -16
+    r4 = 0
+    call map_update_elem
+    r1 = flows ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto miss
+    r0 = *(u64 *)(r0 + 0)
+    exit
+miss:
+    r0 = -1
+    exit

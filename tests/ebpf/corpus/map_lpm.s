@@ -1,0 +1,15 @@
+; LPM trie lookup with a struct bpf_lpm_trie_key on the stack
+.map fib, lpm_trie, key=20, value=8, entries=4
+    *(u32 *)(r10 - 20) = 128
+    *(u64 *)(r10 - 16) = 0
+    *(u64 *)(r10 - 8) = 0
+    r1 = fib ll
+    r2 = r10
+    r2 += -20
+    call map_lookup_elem
+    if r0 == 0 goto miss
+    r0 = *(u64 *)(r0 + 0)
+    exit
+miss:
+    r0 = 0
+    exit

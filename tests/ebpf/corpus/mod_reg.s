@@ -1,0 +1,10 @@
+; division by a register is legal; a zero divisor is defined at runtime
+    r6 = r1
+    r2 = *(u32 *)(r6 + 8)
+    r3 = 100
+    r3 /= r2
+    r4 = 100
+    r4 %= r2
+    r0 = r3
+    r0 += r4
+    exit

@@ -1,0 +1,8 @@
+; moves propagate through registers in both width classes
+    r1 = 7
+    r2 = r1
+    r3 = r2
+    w4 = w3
+    r0 = r3
+    r0 += 1
+    exit

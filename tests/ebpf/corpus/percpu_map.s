@@ -1,0 +1,14 @@
+; per-CPU array: same program surface as a plain array on one datapath CPU
+.map stats, percpu_array, key=4, value=16, entries=2
+    *(u32 *)(r10 - 4) = 1
+    r1 = stats ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r1 = *(u64 *)(r0 + 8)
+    r1 += 5
+    *(u64 *)(r0 + 8) = r1
+out:
+    r0 = 0
+    exit

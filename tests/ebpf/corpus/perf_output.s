@@ -1,0 +1,14 @@
+; push the packet length to user space through a perf event array
+.map events, perf_event_array, entries=1
+    r6 = r1
+    r2 = *(u32 *)(r6 + 0)
+    *(u64 *)(r10 - 8) = r2
+    r1 = r6
+    r2 = events ll
+    r3 = 0
+    r4 = r10
+    r4 += -8
+    r5 = 8
+    call perf_event_output
+    r0 = 0
+    exit

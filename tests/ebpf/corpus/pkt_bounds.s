@@ -1,0 +1,13 @@
+; the canonical data/data_end bounds check, then one byte of packet
+    r6 = r1
+    r2 = *(u64 *)(r6 + 16)
+    r3 = *(u64 *)(r6 + 24)
+    r4 = r2
+    r4 += 1
+    if r4 > r3 goto out
+    r0 = *(u8 *)(r2 + 0)
+    r0 >>= 4
+    exit
+out:
+    r0 = 0
+    exit

@@ -1,0 +1,17 @@
+; parse the IPv6 next-header field after proving 40 bytes readable
+    r6 = r1
+    r2 = *(u64 *)(r6 + 16)
+    r3 = *(u64 *)(r6 + 24)
+    r4 = r2
+    r4 += 40
+    if r4 > r3 goto short
+    r5 = *(u8 *)(r2 + 6)
+    if r5 == 43 goto srh
+    r0 = 1
+    exit
+srh:
+    r0 = 2
+    exit
+short:
+    r0 = 0
+    exit

@@ -1,0 +1,10 @@
+; trace_printk with a "%d" format string built on the stack
+    *(u32 *)(r10 - 4) = 0x6425
+    r1 = r10
+    r1 += -4
+    r2 = 4
+    r3 = 7
+    r4 = 0
+    r5 = 0
+    call trace_printk
+    exit

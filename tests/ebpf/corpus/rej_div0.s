@@ -1,0 +1,5 @@
+; REJECT: division by a zero immediate
+    r1 = 5
+    r1 /= 0
+    r0 = 0
+    exit

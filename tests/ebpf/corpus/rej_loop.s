@@ -1,0 +1,5 @@
+; REJECT: back edges are forbidden on the pre-5.3 verifier
+top:
+    r1 = 1
+    goto top
+    exit

@@ -1,0 +1,3 @@
+; REJECT: execution must end on an exit instruction
+    r0 = 0
+    r1 = 2

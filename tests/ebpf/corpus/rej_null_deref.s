@@ -1,0 +1,9 @@
+; REJECT: map_lookup_elem result dereferenced before the NULL check
+.map hits, array, key=4, value=8, entries=1
+    *(u32 *)(r10 - 4) = 0
+    r1 = hits ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    r0 = *(u64 *)(r0 + 0)
+    exit

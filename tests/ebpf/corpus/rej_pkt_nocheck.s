@@ -1,0 +1,4 @@
+; REJECT: packet access without a data_end bounds check
+    r2 = *(u64 *)(r1 + 16)
+    r0 = *(u8 *)(r2 + 0)
+    exit

@@ -1,0 +1,11 @@
+; REJECT: the packet is read-only on seg6local/LWT hooks
+    r6 = r1
+    r2 = *(u64 *)(r6 + 16)
+    r3 = *(u64 *)(r6 + 24)
+    r4 = r2
+    r4 += 1
+    if r4 > r3 goto out
+    *(u8 *)(r2 + 0) = 0
+out:
+    r0 = 0
+    exit

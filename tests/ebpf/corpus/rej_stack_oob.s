@@ -1,0 +1,5 @@
+; REJECT: store below the 512-byte stack
+    r1 = 1
+    *(u64 *)(r10 - 516) = r1
+    r0 = 0
+    exit

@@ -1,0 +1,3 @@
+; REJECT: reading a register no path has written
+    r0 = r2
+    exit

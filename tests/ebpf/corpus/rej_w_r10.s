@@ -1,0 +1,4 @@
+; REJECT: the frame pointer is read-only
+    r10 = 4
+    r0 = 0
+    exit

@@ -1,0 +1,4 @@
+; the smallest valid program: return 0
+.hook none
+    r0 = 0
+    exit

@@ -1,0 +1,9 @@
+; byte- and halfword-granular stack initialisation tracking
+    *(u8 *)(r10 - 1) = 0x41
+    *(u8 *)(r10 - 2) = 0x42
+    *(u16 *)(r10 - 4) = 0x4344
+    r2 = *(u8 *)(r10 - 1)
+    r3 = *(u16 *)(r10 - 4)
+    r0 = r2
+    r0 += r3
+    exit

@@ -1,0 +1,7 @@
+; pointer provenance survives a spill/fill through the stack
+    *(u64 *)(r10 - 8) = r1
+    r6 = 0
+    r1 = 0
+    r1 = *(u64 *)(r10 - 8)
+    r0 = *(u32 *)(r1 + 4)
+    exit

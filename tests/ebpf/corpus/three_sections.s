@@ -1,0 +1,12 @@
+; three sections chained by jumps; .globl exports a label across sections
+.globl finish
+.section entry
+    r7 = 1
+    goto middle
+.section middle
+    r7 += 2
+    goto finish
+.section done
+finish:
+    r0 = r7
+    exit

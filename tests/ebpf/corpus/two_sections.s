@@ -1,0 +1,9 @@
+; a section name is a symbol: branch from main into the tail section
+.section main
+    r1 = *(u32 *)(r1 + 0)
+    if r1 > 60 goto tail
+    r0 = 1
+    exit
+.section tail
+    r0 = 2
+    exit

@@ -1,0 +1,234 @@
+"""Golden-file regression + differential corpus for the eBPF toolchain.
+
+Every ``corpus/*.s`` source is held to a ``.expected`` golden file
+pinning three things:
+
+* the assembled bytes (pre-relocation, so they are stable across
+  processes — map lddws encode ``imm64=0`` until load time),
+* the disassembly text, and
+* the verifier verdict — ``accept``, or ``reject`` with the *exact*
+  diagnostic, so verifier refactors cannot silently degrade messages.
+
+On top of the goldens, every accepted program is:
+
+* round-tripped ``assemble → disasm → re-assemble`` byte-identically
+  (the property :mod:`repro.ebpf.disasm` promises), and
+* executed differentially — interpreter vs JIT — on seeded random
+  packets, comparing the return value, the full helper-call trace, the
+  final map contents and the mutable context fields.
+
+Regenerate goldens after an intentional toolchain change with::
+
+    PYTHONPATH=src python -m pytest tests/ebpf/test_corpus.py --regen-golden
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+import repro.net  # noqa: F401 -- registers the seg6 helpers for disasm names
+from repro.ebpf import (
+    ArrayMap,
+    HashMap,
+    LpmTrieMap,
+    PerfEventArrayMap,
+    VerifierError,
+    assemble,
+    disassemble,
+    encode_program,
+    link,
+    parse_asm,
+)
+from repro.ebpf.context import CTX_SIZE
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.s"))
+IDS = [path.stem for path in CORPUS]
+
+DIFFERENTIAL_INPUTS = 64
+
+_HEADER = (
+    "# golden file for {name}.s -- regenerate with:\n"
+    "#   PYTHONPATH=src python -m pytest tests/ebpf/test_corpus.py "
+    "--regen-golden\n"
+)
+
+
+# --- building ----------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _build(path: Path):
+    """Assemble+link once per source; returns (linked, program, verdict, error)."""
+    linked = link(parse_asm(path.read_text()))
+    try:
+        prog = linked.load(name=path.stem, jit=True)
+    except VerifierError as exc:
+        return linked, None, "reject", f"{type(exc).__name__}: {exc}"
+    return linked, prog, "accept", None
+
+
+def _golden_text(path: Path) -> str:
+    linked, _prog, verdict, error = _build(path)
+    lines = [_HEADER.format(name=path.stem)]
+    lines.append(f"verdict: {verdict}")
+    if error is not None:
+        lines.append(f"error: {error}")
+    lines.append("-- bytes --")
+    blob = encode_program(linked.insns)
+    for i in range(0, len(blob), 8):
+        lines.append(blob[i : i + 8].hex())
+    lines.append("-- disasm --")
+    lines.append(disassemble(linked.insns).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+# --- corpus shape guards ------------------------------------------------------
+
+
+def test_corpus_is_large_enough():
+    """The acceptance floor: >= 25 programs, >= 5 verifier-rejected."""
+    rejected = [path for path in CORPUS if path.stem.startswith("rej_")]
+    assert len(CORPUS) >= 25, f"corpus shrank to {len(CORPUS)} programs"
+    assert len(rejected) >= 5, f"only {len(rejected)} rejected programs"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=IDS)
+def test_verdict_matches_naming(path):
+    """``rej_*`` sources are rejected, everything else loads."""
+    _linked, prog, verdict, error = _build(path)
+    if path.stem.startswith("rej_"):
+        assert verdict == "reject", f"{path.stem} unexpectedly verified"
+        assert error is not None and error.startswith("VerifierError: ")
+    else:
+        assert verdict == "accept", f"{path.stem} rejected: {error}"
+        assert prog is not None
+
+
+# --- golden files -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=IDS)
+def test_golden(path, request):
+    expected_path = path.with_suffix(".expected")
+    text = _golden_text(path)
+    if request.config.getoption("--regen-golden"):
+        expected_path.write_text(text)
+        return
+    assert expected_path.exists(), (
+        f"missing {expected_path.name}; run pytest with --regen-golden"
+    )
+    assert text == expected_path.read_text(), (
+        f"golden drift for {path.stem}; if intentional, rerun with "
+        "--regen-golden and review the diff"
+    )
+
+
+# --- round-trip property ------------------------------------------------------
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=IDS)
+def test_roundtrip_reassembles_byte_identical(path):
+    """assemble(s) -> disasm -> re-assemble is byte-identical, every program."""
+    linked, _prog, _verdict, _error = _build(path)
+    text = disassemble(linked.insns)
+    again = assemble(text)
+    assert encode_program(again) == encode_program(linked.insns)
+
+
+# --- differential execution ---------------------------------------------------
+
+
+def _snapshot_map(map_obj):
+    if isinstance(map_obj, ArrayMap):  # covers PerCpuArrayMap
+        return [bytes(value) for value in map_obj._values]
+    if isinstance(map_obj, (HashMap, LpmTrieMap)):
+        return (
+            {k: (slot, bytes(v)) for k, (slot, v) in map_obj._entries.items()},
+            list(map_obj._free_slots),
+        )
+    if isinstance(map_obj, PerfEventArrayMap):
+        return None
+    raise AssertionError(f"unsnapshotable map type {type(map_obj)}")
+
+
+def _restore_map(map_obj, snap):
+    if isinstance(map_obj, ArrayMap):
+        for value, saved in zip(map_obj._values, snap):
+            value[:] = saved
+    elif isinstance(map_obj, (HashMap, LpmTrieMap)):
+        entries, free_slots = snap
+        map_obj._entries = {
+            k: (slot, bytearray(v)) for k, (slot, v) in entries.items()
+        }
+        map_obj._free_slots = list(free_slots)
+    elif isinstance(map_obj, PerfEventArrayMap):
+        for cpu in range(map_obj.max_entries):
+            map_obj.ring(cpu).drain()
+
+
+def _dump_map(map_obj):
+    """Observable post-run state (drains perf rings as user space would)."""
+    if isinstance(map_obj, PerfEventArrayMap):
+        return tuple(
+            tuple(map_obj.ring(cpu).drain()) for cpu in range(map_obj.max_entries)
+        )
+    return tuple(sorted(map_obj.items()))
+
+
+def _make_packet(rng: random.Random) -> bytes:
+    length = rng.randint(40, 191)
+    body = bytes(rng.getrandbits(8) for _ in range(length - 1))
+    return b"\x60" + body  # IPv6 version nibble, then wire noise
+
+
+def _make_clock():
+    tick = [0]
+
+    def clock_ns():
+        tick[0] += 1000
+        return tick[0]
+
+    return clock_ns
+
+
+ACCEPTED = [path for path in CORPUS if not path.stem.startswith("rej_")]
+
+
+@pytest.mark.parametrize("path", ACCEPTED, ids=[p.stem for p in ACCEPTED])
+def test_differential_vm_vs_jit(path):
+    """Both engines agree on R0, helper traces, map state and ctx effects."""
+    _linked, prog, verdict, error = _build(path)
+    assert verdict == "accept", error
+    baseline = {name: _snapshot_map(m) for name, m in prog.maps.items()}
+
+    for seed in range(DIFFERENTIAL_INPUTS):
+        packet = _make_packet(random.Random(f"{path.stem}/{seed}"))
+        outcomes = []
+        for engine in (prog._interp, prog._jit):
+            for name, map_obj in prog.maps.items():
+                _restore_map(map_obj, baseline[name])
+            hctx = prog.make_context(
+                packet, clock_ns=_make_clock(), rng=random.Random(seed)
+            )
+            hctx.helper_trace = []
+            ret = engine.run(hctx, hctx.skb.ctx_addr, hctx.skb.stack_top)
+            outcomes.append(
+                (
+                    ret,
+                    tuple(hctx.helper_trace),
+                    tuple(hctx.trace_log),
+                    {n: _dump_map(m) for n, m in prog.maps.items()},
+                    hctx.mem.read_bytes(hctx.skb.ctx_addr, CTX_SIZE),
+                )
+            )
+        vm_out, jit_out = outcomes
+        assert vm_out == jit_out, (
+            f"{path.stem}: engines diverged on seed {seed}"
+        )

@@ -135,6 +135,117 @@ def test_attach_rejects_non_actions():
         net.attach("R", "fc00::1", object())
 
 
+# --- textual eBPF programs through net.load -----------------------------------
+
+_END_S = """
+.hook seg6local
+    r0 = 0          ; BPF_OK -- let End.BPF advance the SRH
+    exit
+"""
+
+
+def _srv6_network():
+    net = Network()
+    net.add_node("R", addr="fc00:e::1", devices=("eth0", "eth1"))
+    net.config("R", "route add fc00:2::/64 via fc00:2::1 dev eth1")
+    return net
+
+
+def test_load_accepts_asm_text_and_route_references_it():
+    net = _srv6_network()
+    prog = net.load("myend", _END_S)
+    from repro.ebpf import Program
+
+    assert isinstance(prog, Program)
+    net.config(
+        "R",
+        "route add fc00:e::100/128 encap seg6local action End.BPF "
+        "endpoint obj myend dev eth0",
+    )
+    from repro.net import make_srv6_udp_packet
+
+    pkt = make_srv6_udp_packet("fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1, 2, b"x")
+    net["R"].receive(pkt, net["R"].devices["eth0"])
+    assert len(net["R"].devices["eth1"].tx_buffer) == 1
+    assert net["R"].counters.seg6local_processed == 1
+
+
+def test_load_accepts_a_path(tmp_path):
+    source = tmp_path / "end.s"
+    source.write_text(_END_S)
+    net = _srv6_network()
+    net.load("myend", source)
+    assert "myend" in net.objects
+
+
+def test_load_bad_syntax_fails_cleanly_at_load_time():
+    from repro.ebpf.errors import AsmError
+
+    net = Network()
+    net.add_node("R")
+    with pytest.raises(AsmError, match="line 2: cannot parse instruction"):
+        net.load("bad", "    r0 = 0\n    frobnicate r1\n    exit\n")
+    assert "bad" not in net.objects  # nothing half-registered
+
+
+def test_load_unverifiable_text_fails_at_load_time():
+    from repro.ebpf import VerifierError
+
+    net = Network()
+    net.add_node("R")
+    with pytest.raises(VerifierError):
+        net.load("leaky", "    r0 = r2\n    exit\n")  # r2 never initialised
+    assert "leaky" not in net.objects
+
+
+def test_load_textual_with_shared_map():
+    from repro.ebpf import ArrayMap
+
+    hits = ArrayMap("hits", 8, 1)
+    net = _srv6_network()
+    net.load(
+        "counting_end",
+        """
+.hook seg6local
+.map hits, array, key=4, value=8, entries=1
+    r1 = hits ll
+    *(u32 *)(r10 - 4) = 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r1 = *(u64 *)(r0 + 0)
+    r1 += 1
+    *(u64 *)(r0 + 0) = r1
+out:
+    r0 = 0
+    exit
+""",
+        maps={"hits": hits},
+    )
+    net.config(
+        "R",
+        "route add fc00:e::100/128 encap seg6local action End.BPF "
+        "endpoint obj counting_end dev eth0",
+    )
+    from repro.net import make_srv6_udp_packet
+
+    for _ in range(2):
+        pkt = make_srv6_udp_packet(
+            "fc00:1::1", ["fc00:e::100", "fc00:2::2"], 1, 2, b"x"
+        )
+        net["R"].receive(pkt, net["R"].devices["eth0"])
+    count = int.from_bytes(hits.lookup((0).to_bytes(4, "little")), "little")
+    assert count == 2
+
+
+def test_load_maps_kwarg_rejected_for_prebuilt_programs():
+    net = Network()
+    net.add_node("R")
+    with pytest.raises(TypeError, match="textual"):
+        net.load("p", end_prog(), maps={})
+
+
 def test_run_returns_event_count_and_supports_with():
     net = Network()
     net.add_node("A", addr="fc00:a::1")
