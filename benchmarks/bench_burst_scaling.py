@@ -29,26 +29,30 @@ For every flow count the same packet stream is pushed through
 
 Before timing, batch output is checked byte-for-byte against per-packet
 output (partition invariance at sizes 1 and N — the contract
-`tests/test_batch_partition.py` pins in full).  Acceptance: batch ≥ 3x
-the baseline at 1k flows.  Expected shape: the ratio is roughly flat
-from 1 to 10k flows because every amortised structure is per-flow-keyed
-and sized for 10k+ entries; a collapse at high flow counts would
-indicate cache thrash.
+`tests/test_batch_partition.py` pins in full).  Acceptance: batch ≥ 6.5x
+the baseline at 1k flows (the re-landed JIT v2 + batch-resident
+datapath; the first landing archived 7.01x in ``BENCH_pr4.json``).
+Expected shape: the ratio is roughly flat from 1 to 10k flows because
+every amortised structure is per-flow-keyed and sized for 10k+ entries;
+a collapse at high flow counts would indicate cache thrash.
 
-Set ``REPRO_BENCH_FLOWS`` (comma-separated flow counts, e.g. ``1,100``)
-to shrink the sweep for CI smoke runs; the acceptance assertions only
-apply when the 1k and 10k points ran.
+Set ``REPRO_BENCH_FLOWS`` (comma-separated flow counts, e.g. ``1,1000``)
+to shrink the sweep for CI smoke runs; each acceptance assertion applies
+whenever its flow point ran.  Results — pps, speed-ups and the v2
+resident-path counters — are written to ``BENCH_burst_scaling.json``
+(override with ``REPRO_BENCH_JSON``).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
 import pytest
 
 from repro.bench import copy_batch, make_router
-from repro.ebpf.jit import clear_handler_cache
+from repro.ebpf.jit import clear_handler_cache, handler_cache_stats
 from repro.net import EndBPF, clear_advance_memo
 from repro.progs import end_prog
 from repro.sim.trafgen import batch_srv6_udp_flows
@@ -58,9 +62,14 @@ _ENV_FLOWS = tuple(
     int(f) for f in os.environ.get("REPRO_BENCH_FLOWS", "").replace(" ", "").split(",") if f
 )
 FLOW_COUNTS = _ENV_FLOWS or _DEFAULT_FLOWS
+# Acceptance floor for the 1k-flow speed-up.  Defaults to the re-landing
+# target; CI smoke lowers it slightly (REPRO_BURST_MIN_SPEEDUP=6.0) to
+# absorb shared-runner noise without letting a real regression through.
+MIN_SPEEDUP_1K = float(os.environ.get("REPRO_BURST_MIN_SPEEDUP", "6.5"))
 BATCH = 2048
 ROUNDS = 5
 RESULTS: dict[tuple[int, str], float] = {}  # (flows, mode) -> pps
+V2_COUNTERS: dict[int, dict] = {}  # flows -> resident-path stats of the batch rounds
 
 FUNC_SEGMENT = "fc00:e::100"
 
@@ -148,7 +157,23 @@ def test_batch_scaling_point(flows):
     batch_node.devices["eth1"].tx_buffer.clear()
 
     RESULTS[(flows, "baseline")] = measure_baseline(packet_node, templates)
+    # The baseline's per-packet cache resets also zero the global v2
+    # counters, so the stats snapshot after the batch rounds isolates
+    # exactly this point's resident-path behaviour.
     RESULTS[(flows, "batch")] = measure_batch(batch_node, templates)
+    stats = handler_cache_stats()
+    V2_COUNTERS[flows] = {
+        k: stats[k]
+        for k in (
+            "handler_hits",
+            "bpf_groups",
+            "bpf_grouped_packets",
+            "bpf_group_flushes",
+            "v2_region_loads",
+            "v2_region_stores",
+        )
+        if k in stats
+    }
 
 
 def test_batch_scaling_report():
@@ -164,15 +189,40 @@ def test_batch_scaling_report():
             f" {batch / baseline:>8.2f}x"
         )
 
-    if (1_000, "batch") not in RESULTS or (10_000, "batch") not in RESULTS:
-        pytest.skip("smoke sweep: acceptance points did not run")
-    # Acceptance: >= 3x over the seed scalar baseline at 1k concurrent flows.
-    ratio_1k = RESULTS[(1_000, "batch")] / RESULTS[(1_000, "baseline")]
-    assert ratio_1k >= 3.0, f"batch speed-up at 1k flows is only {ratio_1k:.2f}x"
-    # The amortisation must not collapse at 10k flows (cache-thrash guard):
-    # it has to keep a clear majority of its 1k-flow advantage.
-    ratio_10k = RESULTS[(10_000, "batch")] / RESULTS[(10_000, "baseline")]
-    assert ratio_10k >= 0.6 * ratio_1k, (
-        f"batch speed-up collapsed at 10k flows: {ratio_10k:.2f}x vs "
-        f"{ratio_1k:.2f}x at 1k"
-    )
+    out = {
+        "burst_scaling": {
+            "pps": {
+                f"{flows}/{mode}": round(pps, 1)
+                for (flows, mode), pps in sorted(RESULTS.items())
+            },
+            "speedup": {
+                str(flows): round(
+                    RESULTS[(flows, "batch")] / RESULTS[(flows, "baseline")], 2
+                )
+                for flows in FLOW_COUNTS
+            },
+            "v2_counters": {str(f): c for f, c in sorted(V2_COUNTERS.items())},
+        }
+    }
+    out_path = os.environ.get("REPRO_BENCH_JSON", "BENCH_burst_scaling.json")
+    with open(out_path, "w") as fh:
+        json.dump(out, fh, indent=2)
+    print(f"  written to {out_path}")
+
+    # Acceptance: >= 6.5x over the seed scalar baseline at 1k concurrent
+    # flows (the re-landed fast path; PR 4 archived 7.01x).  Applies
+    # whenever the 1k point ran, including smoke sweeps.
+    if (1_000, "batch") in RESULTS:
+        ratio_1k = RESULTS[(1_000, "batch")] / RESULTS[(1_000, "baseline")]
+        assert ratio_1k >= MIN_SPEEDUP_1K, (
+            f"batch speed-up at 1k flows is only {ratio_1k:.2f}x "
+            f"(floor {MIN_SPEEDUP_1K}x)"
+        )
+        # The amortisation must not collapse at 10k flows (cache-thrash
+        # guard): it keeps a clear majority of its 1k-flow advantage.
+        if (10_000, "batch") in RESULTS:
+            ratio_10k = RESULTS[(10_000, "batch")] / RESULTS[(10_000, "baseline")]
+            assert ratio_10k >= 0.6 * ratio_1k, (
+                f"batch speed-up collapsed at 10k flows: {ratio_10k:.2f}x vs "
+                f"{ratio_1k:.2f}x at 1k"
+            )

@@ -82,11 +82,13 @@ def test_fig2_shape_and_report(benchmark):
     # both costs are in µs, so the *relative* overhead is larger — see
     # EXPERIMENTS.md.)
     assert norm["end_bpf"] > 0.05
-    # Disabling the JIT never helps.  The end-to-end factor here is
-    # heavily diluted by the fixed datapath cost around the program
-    # (~1.0-1.2x); the paper's ÷1.8 is asserted at program level in
-    # bench_jit_ablation.py::test_program_level_jit_factor_report.
+    # The JIT'd Add TLV beats the interpreted one by well over the
+    # paper's ÷1.8 — with the v2 translator and the thin SRH span
+    # checks the end-to-end factor measures ~2.6-2.7x (the fixed
+    # datapath cost around the program no longer dilutes it).  The
+    # floor absorbs host noise; program-level factors are asserted in
+    # bench_jit_ablation.py.
     jit_factor = norm["add_tlv_bpf"] / norm["add_tlv_bpf_nojit"]
-    assert jit_factor > 0.9, f"JIT slower than interpreter: {jit_factor:.2f}x"
+    assert jit_factor > 2.0, f"JIT factor regressed: {jit_factor:.2f}x"
     benchmark.extra_info["jit_factor"] = round(jit_factor, 2)
     benchmark.extra_info["normalised"] = {k: round(v, 3) for k, v in norm.items()}

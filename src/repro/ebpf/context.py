@@ -98,13 +98,19 @@ class SkbContext:
         return STACK_BASE + isa.STACK_SIZE
 
     # -- burst-mode reuse ------------------------------------------------------
-    def rearm(self, packet_bytes: bytes, mark: int = 0) -> None:
+    def rearm(self, packet_bytes: bytes, mark: int = 0, zero_stack: bool = True) -> None:
         """Rebind this context to a new packet, as if freshly constructed.
 
         The burst fast path reuses one guest address space per (program,
         attach point); this rewrites the packet region, the context
         metadata block (length, mark, ``data_end``, zeroed ``cb``) and
         zeroes the stack, restoring the exact state ``__init__`` builds.
+
+        ``zero_stack=False`` skips the 512-byte stack wipe; callers may
+        only pass it for programs the verifier proved never touch their
+        stack frame (``Program.touches_stack`` is ``False``), in which
+        case stale stack contents are unobservable — every verified stack
+        read is preceded by a same-run write.
         """
         self.packet_region.data[:] = packet_bytes
         raw = self.ctx_region.data
@@ -112,7 +118,8 @@ class SkbContext:
         struct.pack_into("<I", raw, OFF_MARK, mark & isa.U32)
         struct.pack_into("<Q", raw, OFF_DATA_END, PACKET_BASE + len(packet_bytes))
         raw[OFF_CB:] = _CB_ZERO
-        self.stack_region.data[:] = _STACK_ZERO
+        if zero_stack:
+            self.stack_region.data[:] = _STACK_ZERO
 
     # -- packet mutation by helpers ------------------------------------------
     def packet_bytes(self) -> bytes:

@@ -144,6 +144,22 @@ class HelperContext:
         self.hook = None
         self.metadata = {}
 
+    def rearm_resident(self) -> None:
+        """Per-packet reset for batch-resident reuse within one group.
+
+        Between packets of a batch-resident group the node, hook, clock
+        and rng bindings are invariant (the group runs on one node, one
+        attach point, within one batch), so only genuinely per-packet
+        state resets: traces, the scratch allocator cursor, the packet
+        binding and the hook metadata.  ``metadata`` is cleared in place
+        instead of reallocated.
+        """
+        self.trace_log.clear()
+        self.helper_trace = None
+        self._scratch_cursor = SCRATCH_BASE
+        self.packet = None
+        self.metadata.clear()
+
     # -- utilities for helper implementations -------------------------------
     def resolve_map(self, addr: int) -> Map:
         map_obj = self.maps_by_addr.get(addr)

@@ -7,26 +7,49 @@ which
 
 * registers are local variables (no register-file indexing),
 * instruction semantics are inlined expressions (no dispatch),
-* basic blocks are dispatched by a single integer state variable.
+* control flow is *threaded*: basic blocks are laid out in program order
+  and guarded by a single integer state variable, so a straight-line
+  program runs top to bottom without ever returning to a dispatcher
+  (and a single-block program compiles to a plain function body);
+* memory accesses whose region the verifier already proved —
+  context, stack or packet — compile to direct byte-array indexing on
+  that region's backing buffer, skipping the generic
+  :meth:`repro.ebpf.memory.Memory.find` bounds/permission walk.  The
+  safety argument is the verifier's: a ctx access is within
+  ``CTX_FIELDS``, a stack access within the 512-byte frame, a packet
+  access below a runtime-checked ``data_end`` — exactly how the kernel
+  JIT trusts verifier proofs instead of re-checking at runtime.
+
+This is the "v2" translator.  The original PR-2-era translator — block
+dispatch through a ``while``/``elif`` loop, every access through
+``Memory.load``/``Memory.store`` — is kept as :class:`JitProgramV1` so
+the ablation benchmarks can measure interp → v1 → v2 as separate rows.
 
 The translated function is exactly semantics-preserving with respect to
 :class:`repro.ebpf.vm.Interpreter`; the test suite runs differential
-checks between the two engines.  The speedup this buys over the
-interpreter is the quantity the paper's §3.2 JIT experiment measures
-(÷1.8 throughput with the JIT disabled).
+checks between the engines (including the golden corpus, 64 seeded
+packets per program).  The speedup this buys over the interpreter is the
+quantity the paper's §3.2 JIT experiment measures (÷1.8 throughput with
+the JIT disabled).
 """
 
 from __future__ import annotations
 
+import struct
 import weakref
 
 from . import isa
 from .errors import VmFault
 from .helpers import HELPERS_BY_ID, HelperContext
 from .insn import Instruction, flatten
+from .memory import CTX_BASE, PACKET_BASE, STACK_BASE
 
 _M64 = "0xFFFFFFFFFFFFFFFF"
 _M32 = "0xFFFFFFFF"
+
+_STRUCT_U16 = struct.Struct("<H")
+_STRUCT_U32 = struct.Struct("<I")
+_STRUCT_U64 = struct.Struct("<Q")
 
 
 def _s64(value: int) -> int:
@@ -43,20 +66,100 @@ def _bswap(value: int, width: int) -> int:
     return int.from_bytes((value & ((1 << width) - 1)).to_bytes(nbytes, "little"), "big")
 
 
+# Names bound into every compiled function's globals.  The _lu/_su entries
+# are pre-bound struct methods: unpack_from/pack_into read and write the
+# region bytearrays in place without slicing (no per-access allocation).
+_BASE_NAMESPACE = {
+    "_s64": _s64,
+    "_s32": _s32,
+    "_bswap": _bswap,
+    "VmFault": VmFault,
+    "_lu16": _STRUCT_U16.unpack_from,
+    "_lu32": _STRUCT_U32.unpack_from,
+    "_lu64": _STRUCT_U64.unpack_from,
+    "_su16": _STRUCT_U16.pack_into,
+    "_su32": _STRUCT_U32.pack_into,
+    "_su64": _STRUCT_U64.pack_into,
+}
+
+# Region-specialisation tables: verifier tag -> (buffer local, guest base).
+_REGION_BUF = {"ctx": "_ctxd", "stack": "_stkd", "pkt": "_pktd"}
+_REGION_BASE = {"ctx": CTX_BASE, "stack": STACK_BASE, "pkt": PACKET_BASE}
+_REGION_BIND = {
+    "ctx": "_ctxd = _skb.ctx_region.data",
+    "stack": "_stkd = _skb.stack_region.data",
+    "pkt": "_pktd = _skb.packet_region.data",
+}
+
+# v2 runtime/translation counters, reported through handler_cache_stats()
+# (and from there into repro.bench.amortisation_stats / benchmark JSON).
+_JIT_V2_STATS = {
+    # Translation-time: memory accesses compiled to direct region indexing
+    # instead of the generic Memory.find path.
+    "v2_region_loads": 0,
+    "v2_region_stores": 0,
+    # Runtime: batch-resident End.BPF invocation (see Node._run_group).
+    "bpf_groups": 0,
+    "bpf_grouped_packets": 0,
+    "bpf_group_flushes": 0,
+}
+
+
+def _compile(source: str):
+    namespace = dict(_BASE_NAMESPACE)
+    exec(compile(source, "<ebpf-jit>", "exec"), namespace)
+    return namespace["_ebpf_jitted"]
+
+
 class JitProgram:
-    """A compiled program; call :meth:`run` like the interpreter."""
+    """A compiled program (v2 translator); call :meth:`run` like the interpreter.
+
+    ``regions`` is the verifier's slot-pc → region-tag annotation map
+    (see :attr:`repro.ebpf.verifier.Verifier.region_hints`).  Accesses
+    tagged ``ctx``/``stack``/``pkt`` compile to direct byte-array access;
+    without annotations (or for ambiguous/map-value accesses) the generic
+    ``Memory`` path is emitted, so a :class:`JitProgram` built from raw
+    instructions still runs unverified test programs faithfully.
+
+    A region-specialised function needs ``hctx.skb``; for the rare caller
+    running a bare :class:`~repro.ebpf.helpers.HelperContext` without one,
+    :meth:`run` lazily compiles and uses the generic variant.
+    """
+
+    def __init__(self, insns: list[Instruction], helpers=None, regions=None):
+        self.helpers = helpers if helpers is not None else HELPERS_BY_ID
+        self._insns = list(insns)
+        self.source, spec_loads, spec_stores = _translate(
+            self._insns, self.helpers, regions
+        )
+        self._fn = _compile(self.source)
+        self._specialised = bool(spec_loads or spec_stores)
+        self._generic_fn = None if self._specialised else self._fn
+        _JIT_V2_STATS["v2_region_loads"] += spec_loads
+        _JIT_V2_STATS["v2_region_stores"] += spec_stores
+
+    def run(self, hctx: HelperContext, ctx_addr: int, stack_top: int) -> int:
+        fn = self._fn
+        if hctx.skb is None and self._specialised:
+            fn = self._generic_fn
+            if fn is None:
+                source, _loads, _stores = _translate(self._insns, self.helpers, None)
+                fn = self._generic_fn = _compile(source)
+        return fn(hctx, hctx.mem, self.helpers, ctx_addr, stack_top)
+
+
+class JitProgramV1:
+    """The PR-2-era translator: dispatch-loop blocks, generic memory only.
+
+    Semantically identical to :class:`JitProgram`; kept so the JIT
+    ablation benchmark can report interp / jit_v1 / jit_v2 as separate
+    engine rows against the archived ``BENCH_pr4.json`` trajectory.
+    """
 
     def __init__(self, insns: list[Instruction], helpers=None):
         self.helpers = helpers if helpers is not None else HELPERS_BY_ID
-        self.source = _translate(insns, self.helpers)
-        namespace = {
-            "_s64": _s64,
-            "_s32": _s32,
-            "_bswap": _bswap,
-            "VmFault": VmFault,
-        }
-        exec(compile(self.source, "<ebpf-jit>", "exec"), namespace)
-        self._fn = namespace["_ebpf_jitted"]
+        self.source = _translate_v1(insns, self.helpers)
+        self._fn = _compile(self.source)
 
     def run(self, hctx: HelperContext, ctx_addr: int, stack_top: int) -> int:
         return self._fn(hctx, hctx.mem, self.helpers, ctx_addr, stack_top)
@@ -77,6 +180,14 @@ class CompiledHandler:
     helper context is reset.  The result is observably identical to a
     fresh context, so the burst fast path that uses handlers is
     differentially testable against the scalar path.
+
+    :meth:`arm_resident` is the batch-resident variant: within one group
+    of packets sharing this handler (same route, program and attach
+    point), the clock/rng/node/hook bindings are left in place and only
+    per-packet state is reset — and, when the program provably never
+    touches its stack frame (``Program.touches_stack``), the 512-byte
+    stack wipe is skipped too, since the verifier guarantees every stack
+    read was preceded by a same-run write.
     """
 
     def __init__(self, program, attach_point: str):
@@ -88,6 +199,11 @@ class CompiledHandler:
         self.cache_generation = _HANDLER_CACHE_GENERATION
         self._hctx: HelperContext | None = None
         self._snapshot = None
+        self._zero_stack = True
+        # Batch-resident group state: False at group start, True once the
+        # first packet of the group did a full arm() (see
+        # EndBPF.group_handler/process_resident).
+        self.group_armed = False
 
     @property
     def program(self):
@@ -102,10 +218,25 @@ class CompiledHandler:
             )
             self._hctx = hctx
             self._snapshot = hctx.mem.snapshot()
+            self._zero_stack = getattr(self.program, "touches_stack", True)
             return hctx
         hctx.mem.restore(self._snapshot)
         hctx.skb.rearm(packet_bytes, mark=mark)
         hctx.rearm(clock_ns, rng)
+        return hctx
+
+    def arm_resident(self, packet_bytes: bytes, mark: int = 0) -> HelperContext:
+        """Group-resident re-arm: per-packet state only.
+
+        Valid only after :meth:`arm` within the same batch-resident group
+        (same node, hook and program): clock, rng, node and hook bindings
+        are reused, the scratch allocator rewinds, trace state clears,
+        and the stack wipe is elided for stack-free programs.
+        """
+        hctx = self._hctx
+        hctx.mem.restore(self._snapshot)
+        hctx.skb.rearm(packet_bytes, mark=mark, zero_stack=self._zero_stack)
+        hctx.rearm_resident()
         return hctx
 
 
@@ -144,12 +275,22 @@ def compiled_handler(program, attach_point: str) -> CompiledHandler:
 
 
 def handler_cache_stats() -> dict:
-    """Cumulative handler-cache hits/misses (compiled-handler reuse)."""
-    return dict(_HANDLER_CACHE_STATS)
+    """Handler-cache hits/misses plus the JIT v2 counters.
+
+    The v2 entries cover both translation (``v2_region_loads``/
+    ``v2_region_stores``: accesses compiled to direct region indexing)
+    and the batch-resident datapath (``bpf_groups``,
+    ``bpf_grouped_packets``, ``bpf_group_flushes`` — the last counts
+    groups cut short because a FIB-generation bump was observed at a
+    group boundary).
+    """
+    stats = dict(_HANDLER_CACHE_STATS)
+    stats.update(_JIT_V2_STATS)
+    return stats
 
 
 def clear_handler_cache() -> None:
-    """Drop every cached handler and reset the hit/miss counters.
+    """Drop every cached handler and reset the hit/miss + v2 counters.
 
     Bumps the cache generation so handlers pinned on instance attributes
     (e.g. ``EndBPF``'s) are rebuilt too.  Benchmark baselines use this to
@@ -161,6 +302,8 @@ def clear_handler_cache() -> None:
     _HANDLER_CACHE.clear()
     _HANDLER_CACHE_STATS["handler_hits"] = 0
     _HANDLER_CACHE_STATS["handler_misses"] = 0
+    for key in _JIT_V2_STATS:
+        _JIT_V2_STATS[key] = 0
 
 
 def _block_starts(slots) -> list[int]:
@@ -179,7 +322,248 @@ def _block_starts(slots) -> list[int]:
     return sorted(leaders)
 
 
-def _translate(insns: list[Instruction], helpers) -> str:
+def _used_registers(slots) -> set[int]:
+    """Registers the program can observe; only these get a prologue init.
+
+    Trivial programs (the common End.BPF case) touch two or three
+    registers — initialising all ten costs more than their whole body.
+    Any register referenced anywhere is initialised, so a (non-verified)
+    read-before-write still sees 0, exactly as before.
+    """
+    used = {isa.R0}  # every program returns r0
+    for insn in slots:
+        if insn is None:
+            continue
+        klass = insn.klass
+        if klass in (isa.BPF_JMP, isa.BPF_JMP32):
+            op = insn.opcode & isa.OP_MASK
+            if op == isa.BPF_CALL:
+                used.update(range(6))  # r0 result, r1-r5 arguments
+                continue
+            if op in (isa.BPF_EXIT, isa.BPF_JA):
+                continue
+            used.add(insn.dst_reg)
+            if insn.opcode & isa.BPF_X:
+                used.add(insn.src_reg)
+            continue
+        used.add(insn.dst_reg)
+        if klass in (isa.BPF_LDX, isa.BPF_STX):
+            used.add(insn.src_reg)
+        elif klass in (isa.BPF_ALU, isa.BPF_ALU64):
+            op = insn.opcode & isa.OP_MASK
+            if insn.opcode & isa.BPF_X and op not in (isa.BPF_END, isa.BPF_NEG):
+                used.add(insn.src_reg)
+    return used
+
+
+def _translate(insns: list[Instruction], helpers, regions=None):
+    """The v2 translator: threaded blocks + region-specialised memory.
+
+    Returns ``(source, specialised_loads, specialised_stores)``.
+    """
+    slots = flatten(insns)
+    leaders = _block_starts(slots)
+    block_id = {pc: i for i, pc in enumerate(leaders)}
+    regions = regions or {}
+
+    used_helpers = sorted(
+        {insn.imm for insn in insns if insn.opcode == (isa.BPF_JMP | isa.BPF_CALL)}
+    )
+    for hid in used_helpers:
+        if hid not in helpers:
+            raise VmFault(f"JIT: unknown helper id {hid}")
+
+    # Which region buffers the specialised sites need, and whether any
+    # access still goes through the generic Memory path.
+    spec = _Spec(slots, regions)
+
+    lines = ["def _ebpf_jitted(hctx, mem, helpers, ctx_addr, stack_top):"]
+    if spec.generic_loads:
+        lines.append("    _load = mem.load")
+    if spec.generic_stores:
+        lines.append("    _store = mem.store")
+    if spec.buffers:
+        lines.append("    _skb = hctx.skb")
+        for tag in ("ctx", "stack", "pkt"):
+            if tag in spec.buffers:
+                lines.append("    " + _REGION_BIND[tag])
+    for hid in used_helpers:
+        lines.append(f"    _h{hid} = helpers[{hid}]")
+
+    used = _used_registers(slots)
+    zero_regs = sorted(r for r in used if r not in (isa.R1, isa.R10))
+    if zero_regs:
+        lines.append("    " + " = ".join(f"r{r}" for r in zero_regs) + " = 0")
+    if isa.R1 in used or not zero_regs:
+        lines.append("    r1 = ctx_addr")
+    if isa.R10 in used:
+        lines.append("    r10 = stack_top")
+
+    if len(leaders) == 1:
+        # Single basic block: no dispatch state at all — the program is
+        # a straight-line function body.
+        body = _emit_block(slots, 0, leaders, block_id, spec)
+        lines.extend("    " + stmt for stmt in body)
+        return "\n".join(lines) + "\n", spec.loads, spec.stores
+
+    # Threaded layout: blocks in program order, each guarded by one
+    # integer compare.  A forward transfer assigns ``_b`` and falls
+    # through the remaining guards (at most one compare per block per
+    # run); the enclosing loop only ever re-runs for a backward jump,
+    # which verified programs cannot contain.
+    lines.append("    _b = 0")
+    lines.append("    while True:")
+    for index, leader in enumerate(leaders):
+        lines.append(f"        if _b == {index}:")
+        body = _emit_block(slots, leader, leaders, block_id, spec)
+        lines.extend("            " + stmt for stmt in body)
+    return "\n".join(lines) + "\n", spec.loads, spec.stores
+
+
+class _Spec:
+    """Which accesses specialise to which region buffers (translation plan)."""
+
+    def __init__(self, slots, regions):
+        self.regions = regions
+        self.buffers: set[str] = set()
+        self.generic_loads = False
+        self.generic_stores = False
+        self.loads = 0
+        self.stores = 0
+        for pc, insn in enumerate(slots):
+            if insn is None:
+                continue
+            klass = insn.klass
+            if klass == isa.BPF_LDX:
+                if regions.get(pc) in _REGION_BUF:
+                    self.buffers.add(regions[pc])
+                else:
+                    self.generic_loads = True
+            elif klass in (isa.BPF_ST, isa.BPF_STX):
+                if regions.get(pc) in _REGION_BUF:
+                    self.buffers.add(regions[pc])
+                else:
+                    self.generic_stores = True
+
+    def tag_for(self, pc: int):
+        tag = self.regions.get(pc)
+        return tag if tag in _REGION_BUF else None
+
+
+_LOAD_FN = {2: "_lu16", 4: "_lu32", 8: "_lu64"}
+_STORE_FN = {2: "_su16", 4: "_su32", 8: "_su64"}
+_SIZE_MASKS = {1: "0xFF", 2: "0xFFFF", 4: "0xFFFFFFFF"}
+
+
+def _emit_spec_load(insn, tag, size) -> str:
+    buf = _REGION_BUF[tag]
+    off = insn.off - _REGION_BASE[tag]
+    idx = f"r{insn.src_reg} + {off}" if off else f"r{insn.src_reg}"
+    if size == 1:
+        return f"r{insn.dst_reg} = {buf}[{idx}]"
+    return f"r{insn.dst_reg} = {_LOAD_FN[size]}({buf}, {idx})[0]"
+
+
+def _emit_spec_store(insn, tag, size, value: str) -> str:
+    buf = _REGION_BUF[tag]
+    off = insn.off - _REGION_BASE[tag]
+    idx = f"r{insn.dst_reg} + {off}" if off else f"r{insn.dst_reg}"
+    if size == 1:
+        return f"{buf}[{idx}] = {value}"
+    return f"{_STORE_FN[size]}({buf}, {idx}, {value})"
+
+
+def _emit_block(slots, start, leaders, block_id, spec) -> list[str]:
+    out: list[str] = []
+    pc = start
+    next_leader_idx = leaders.index(start) + 1
+    block_end = leaders[next_leader_idx] if next_leader_idx < len(leaders) else len(slots)
+
+    while pc < block_end:
+        insn = slots[pc]
+        if insn is None:
+            pc += 1
+            continue
+        klass = insn.klass
+        if klass in (isa.BPF_ALU, isa.BPF_ALU64):
+            out.append(_emit_alu(insn))
+            pc += 1
+        elif klass == isa.BPF_LD:
+            out.append(f"r{insn.dst_reg} = {(insn.imm64 or 0) & isa.U64:#x}")
+            pc += 2
+        elif klass == isa.BPF_LDX:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            tag = spec.tag_for(pc)
+            if tag is not None:
+                out.append(_emit_spec_load(insn, tag, size))
+                spec.loads += 1
+            else:
+                out.append(
+                    f"r{insn.dst_reg} = _load((r{insn.src_reg} + {insn.off}) & {_M64}, {size})"
+                )
+            pc += 1
+        elif klass == isa.BPF_STX:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            tag = spec.tag_for(pc)
+            if tag is not None:
+                # Registers invariantly hold 0..2^64-1, so only narrow
+                # stores need a mask before packing.
+                value = f"r{insn.src_reg}"
+                if size != 8:
+                    value = f"{value} & {_SIZE_MASKS[size]}"
+                out.append(_emit_spec_store(insn, tag, size, value))
+                spec.stores += 1
+            else:
+                out.append(
+                    f"_store((r{insn.dst_reg} + {insn.off}) & {_M64}, {size}, r{insn.src_reg})"
+                )
+            pc += 1
+        elif klass == isa.BPF_ST:
+            size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+            tag = spec.tag_for(pc)
+            if tag is not None:
+                value = f"{insn.imm & ((1 << (8 * size)) - 1):#x}"
+                out.append(_emit_spec_store(insn, tag, size, value))
+                spec.stores += 1
+            else:
+                out.append(
+                    f"_store((r{insn.dst_reg} + {insn.off}) & {_M64}, {size}, "
+                    f"{insn.imm & isa.U64:#x})"
+                )
+            pc += 1
+        elif klass in (isa.BPF_JMP, isa.BPF_JMP32):
+            op = insn.opcode & isa.OP_MASK
+            if op == isa.BPF_EXIT:
+                out.append("return r0")
+                return out
+            if op == isa.BPF_CALL:
+                out.append(
+                    f"r0 = int(_h{insn.imm}(hctx, r1, r2, r3, r4, r5)) & {_M64}"
+                )
+                pc += 1
+                continue
+            if op == isa.BPF_JA:
+                out.append(f"_b = {block_id[pc + 1 + insn.off]}")
+                return out
+            cond = _emit_cond(insn)
+            out.append(f"if {cond}:")
+            out.append(f"    _b = {block_id[pc + 1 + insn.off]}")
+            out.append("else:")
+            out.append(f"    _b = {block_id[pc + 1]}")
+            return out
+        else:
+            raise VmFault(f"JIT: unknown class {klass:#x} at {pc}")
+
+    # Fallthrough into the next block.
+    if pc < len(slots):
+        out.append(f"_b = {block_id[pc]}")
+    else:
+        out.append("raise VmFault('fell off the end of the program')")
+    return out
+
+
+def _translate_v1(insns: list[Instruction], helpers) -> str:
+    """The original translator: a while-loop dispatcher over elif'd blocks."""
     slots = flatten(insns)
     leaders = _block_starts(slots)
     block_id = {pc: i for i, pc in enumerate(leaders)}
@@ -208,7 +592,7 @@ def _translate(insns: list[Instruction], helpers) -> str:
     for index, leader in enumerate(leaders):
         cond = "if" if index == 0 else "elif"
         lines.append(f"        {cond} _b == {index}:")
-        body = _emit_block(slots, leader, leaders, block_id)
+        body = _emit_block_v1(slots, leader, leaders, block_id)
         lines.extend("            " + stmt for stmt in body)
 
     lines.append("        else:")
@@ -216,7 +600,7 @@ def _translate(insns: list[Instruction], helpers) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _emit_block(slots, start, leaders, block_id) -> list[str]:
+def _emit_block_v1(slots, start, leaders, block_id) -> list[str]:
     out: list[str] = []
     pc = start
     next_leader_idx = leaders.index(start) + 1

@@ -16,7 +16,7 @@ from .asm import assemble
 from .errors import BpfError
 from .helpers import HelperContext, install_map_regions, map_handle_addr
 from .insn import Instruction, flatten
-from .jit import JitProgram
+from .jit import JitProgram, JitProgramV1
 from .maps import Map
 from .memory import Memory
 from .verifier import Verifier
@@ -46,7 +46,10 @@ class Program:
         Human-readable name for logs and stats.
     jit:
         Select the execution engine; mirrors
-        ``/proc/sys/net/core/bpf_jit_enable``.
+        ``/proc/sys/net/core/bpf_jit_enable``.  ``True`` compiles with
+        the v2 translator (region-specialised memory, threaded
+        dispatch), ``"v1"`` with the original translator (kept for
+        ablation benchmarks), ``False`` interprets.
     allowed_helpers:
         Optional whitelist of helper ids (hooks restrict their helper
         sets); ``None`` allows every registered helper.
@@ -68,11 +71,30 @@ class Program:
         self.maps_by_addr = {
             map_handle_addr(m): m for m in self.slot_maps.values()
         }
-        Verifier(
+        verifier = Verifier(
             self.insns, self.slot_maps, allowed_helpers=allowed_helpers
-        ).verify()
+        )
+        verifier.verify()
+        # Verifier by-products the JIT and the batch-resident datapath
+        # consume: per-slot region provenance for specialised memory
+        # access, and whether the program ever touches its stack frame
+        # (a stack-free program's re-arm can skip the stack wipe).
+        # Helper calls count as stack-touching: a helper may read or
+        # write the frame through a pointer argument without the program
+        # issuing any direct stack load/store.
+        self.region_hints = dict(verifier.region_hints)
+        self.touches_stack = any(
+            tag in ("stack", "mixed") for tag in self.region_hints.values()
+        ) or any(
+            insn.opcode == (isa.BPF_JMP | isa.BPF_CALL) for insn in self.insns
+        )
         self._interp = Interpreter(self.insns)
-        self._jit = JitProgram(self.insns) if jit else None
+        if jit == "v1":
+            self._jit = JitProgramV1(self.insns)
+        elif jit:
+            self._jit = JitProgram(self.insns, regions=self.region_hints)
+        else:
+            self._jit = None
         self.stats = ProgramStats()
 
     # -- loading -------------------------------------------------------------

@@ -161,6 +161,23 @@ class Verifier:
         self.allowed = set(allowed_helpers) if allowed_helpers is not None else None
         self._null_counter = 0
         self._visits = 0
+        # Region annotations for the JIT (slot pc -> "ctx"|"stack"|"pkt"|
+        # "map_value"|"mixed").  Every load/store this verifier proves safe
+        # records which memory region its base pointer addressed; an
+        # instruction reached with different provenances on different paths
+        # degrades to "mixed".  The JIT's region-specialised translation
+        # emits direct byte-array access for unambiguous ctx/stack/pkt
+        # accesses and falls back to the generic bounds-checked path for
+        # everything else — the proof that makes the direct access safe is
+        # exactly the check performed here.
+        self.region_hints: dict[int, str] = {}
+
+    def _note_region(self, pc: int, tag: str) -> None:
+        prev = self.region_hints.get(pc)
+        if prev is None:
+            self.region_hints[pc] = tag
+        elif prev != tag:
+            self.region_hints[pc] = "mixed"
 
     # -- public API --------------------------------------------------------
     def verify(self) -> None:
@@ -377,6 +394,7 @@ class Verifier:
                 raise VerifierError(
                     f"ctx field at {off:#x} must be read with size {fsize}", pc
                 )
+            self._note_region(pc, "ctx")
             if kind == "pkt_ptr":
                 state.regs[insn.dst_reg] = Reg(PKT, 0)
             elif kind == "pkt_end_ptr":
@@ -386,6 +404,7 @@ class Verifier:
         elif base.kind == STACK:
             if not _stack_bounds_ok(off, size):
                 raise VerifierError(f"stack read out of bounds at {off}", pc)
+            self._note_region(pc, "stack")
             if size == 8 and off % 8 == 0 and off in state.spills:
                 state.regs[insn.dst_reg] = state.spills[off]
             elif state.stack_is_init(off, size):
@@ -399,12 +418,14 @@ class Verifier:
                     f"({state.pkt_safe}); add a data_end check",
                     pc,
                 )
+            self._note_region(pc, "pkt")
             state.regs[insn.dst_reg] = _scalar()
         elif base.kind == MAP_VALUE:
             if off < 0 or off + size > base.map.value_size:
                 raise VerifierError(
                     f"map value read at {off}+{size} out of bounds", pc
                 )
+            self._note_region(pc, "map_value")
             state.regs[insn.dst_reg] = _scalar()
         elif base.kind == MAP_VALUE_OR_NULL:
             raise VerifierError("map value accessed before NULL check", pc)
@@ -432,6 +453,7 @@ class Verifier:
         if base.kind == STACK:
             if not _stack_bounds_ok(off, size):
                 raise VerifierError(f"stack write out of bounds at {off}", pc)
+            self._note_region(pc, "stack")
             if src.kind in _POINTER_KINDS:
                 if size != 8 or off % 8:
                     raise VerifierError(
@@ -451,11 +473,13 @@ class Verifier:
                 )
             if src.kind in _POINTER_KINDS:
                 raise VerifierError("cannot store a pointer into the context", pc)
+            self._note_region(pc, "ctx")
         elif base.kind == MAP_VALUE:
             if off < 0 or off + size > base.map.value_size:
                 raise VerifierError(f"map value write at {off}+{size} out of bounds", pc)
             if src.kind in _POINTER_KINDS:
                 raise VerifierError("cannot store a pointer into a map value", pc)
+            self._note_region(pc, "map_value")
         elif base.kind == PKT:
             raise VerifierError(
                 "packet is read-only on seg6local/LWT hooks; use the seg6 helpers",

@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ebpf import BPF_DROP, BPF_OK, BPF_REDIRECT, Program
-from ..ebpf.errors import BpfError, VmFault
+from ..ebpf import jit as _jit
 from ..ebpf.jit import compiled_handler
+from ..ebpf.errors import BpfError, VmFault
 from .packet import Packet
-from .seg6local import Disposition
+from .seg6local import _FORWARD, Disposition
 
 
 @dataclass
@@ -33,28 +34,48 @@ class BpfLwt:
     stats: dict = field(
         default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0}
     )
+    # Pinned per-hook CompiledHandlers (same generation-checked pin as
+    # EndBPF): avoids rebuilding a dict literal and probing the global
+    # handler cache on every packet of a batch.
+    _handlers: dict = field(default_factory=dict, repr=False, compare=False)
+    _handlers_generation: int = field(default=-1, repr=False, compare=False)
 
     def has_output_stage(self) -> bool:
         """True when a program is attached to lwt_out or lwt_xmit."""
         return self.prog_out is not None or self.prog_xmit is not None
+
+    def _handler_for(self, hook: str, program: Program):
+        if self._handlers_generation != _jit._HANDLER_CACHE_GENERATION:
+            self._handlers.clear()
+            self._handlers_generation = _jit._HANDLER_CACHE_GENERATION
+        handler = self._handlers.get(hook)
+        if handler is None or handler.program is not program:
+            handler = compiled_handler(program, hook)
+            self._handlers[hook] = handler
+        else:
+            _jit._HANDLER_CACHE_STATS["handler_hits"] += 1  # pinned reuse
+        return handler
 
     def run_hook(self, hook: str, pkt: Packet, node) -> Disposition:
         """Execute the program bound to ``hook``; default is pass-through.
 
         The invocation context comes from the per-(program, hook)
         compiled-handler cache (:func:`repro.ebpf.jit.compiled_handler`),
-        so a batch of packets through the same hook pays the guest
-        address-space assembly once.
+        pinned per hook on this instance, so a batch of packets through
+        the same hook pays the guest address-space assembly once.
         """
-        program = {
-            "lwt_in": self.prog_in,
-            "lwt_out": self.prog_out,
-            "lwt_xmit": self.prog_xmit,
-        }.get(hook)
+        if hook == "lwt_in":
+            program = self.prog_in
+        elif hook == "lwt_out":
+            program = self.prog_out
+        elif hook == "lwt_xmit":
+            program = self.prog_xmit
+        else:
+            program = None
         if program is None:
-            return Disposition.forward()
+            return _FORWARD
 
-        hctx = compiled_handler(program, hook).arm(
+        hctx = self._handler_for(hook, program).arm(
             pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
         )
         hctx.packet = pkt
@@ -74,7 +95,7 @@ class BpfLwt:
 
         if ret == BPF_OK:
             self.stats["ok"] += 1
-            return Disposition.forward()
+            return _FORWARD
         if ret == BPF_REDIRECT:
             self.stats["redirect"] += 1
             return Disposition.forward(

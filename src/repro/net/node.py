@@ -44,9 +44,18 @@ from .lwt_bpf import BpfLwt
 from .netdev import NetDev
 from .packet import Packet, make_icmpv6_packet
 from .seg6 import Seg6Encap
-from .seg6local import _FORWARD, Disposition, Seg6LocalAction
+from .seg6local import _FORWARD, Disposition, EndBPF, Seg6LocalAction
 
 _RECIRCULATION_BUDGET = 8
+
+# Batch-resident grouping guard (the PR 4 revert fix): after every packet
+# of a batch-resident End.BPF group, the main table's generation is
+# compared against its value at group formation; a mismatch — an eBPF
+# continuation or listener mutated the FIB mid-group — flushes the group
+# so the remaining packets re-resolve their route before dispatch.
+# Module-level so the regression test can disable it and demonstrate the
+# stale-route hazard it closes.
+FIB_GENERATION_GUARD = True
 
 # Stage outcomes.  Each pipeline stage returns one of these: fall through
 # to the next stage, re-enter the routing decision (the packet's headers
@@ -337,16 +346,132 @@ class Node:
             self._egress_batch = {}
         counters = self.counters
         run = self._run_pipeline
+        lookup = self._lookup_route
         ctx = DispatchContext(None, decrement=True, dev=dev)
+        n = len(pkts)
+        i = 0
         try:
-            for pkt in pkts:
+            while i < n:
+                pkt = pkts[i]
                 if len(pkt.data) < IPV6_HEADER_LEN:
                     counters.dropped += 1
+                    i += 1
                     continue
-                run(ctx.rebind(pkt))
+                dst = pkt.dst
+                route = lookup(MAIN_TABLE, dst)
+                if route is None:
+                    counters.no_route += 1
+                    counters.dropped += 1
+                    i += 1
+                    continue
+                if i + 1 < n and type(route.encap) is EndBPF:
+                    # Batch-resident End.BPF: scan the run of consecutive
+                    # packets with this same destination — the lookup is
+                    # deterministic per (table generation, dst), and no
+                    # program runs between the probes, so byte-equal
+                    # destinations resolve to this same route.
+                    j = i + 1
+                    while j < n and pkts[j].data[24:40] == dst:
+                        j += 1
+                    if j - i >= 2:
+                        i = self._run_group(pkts, i, j, route, ctx)
+                        continue
+                ctx.rebind(pkt)
+                ctx.lookup_dst = dst
+                run(ctx, route=route)
+                i += 1
         finally:
             if outer is None:
                 self._flush_egress()
+
+    def _run_group(
+        self, pkts: list[Packet], start: int, end: int, route: Route, ctx: DispatchContext
+    ) -> int:
+        """Run ``pkts[start:end]`` — one End.BPF route — batch-resident.
+
+        The group shares one armed :class:`~repro.ebpf.jit.CompiledHandler`
+        (per-packet re-arm is the light resident variant) but keeps exact
+        scalar semantics: each packet's disposition is applied — and its
+        pipeline continuation run — *before* the next packet executes, so
+        side effects (map state, perf events, locally generated ICMP,
+        listener callbacks) interleave in arrival order.
+
+        After each packet, the main table's generation is compared to its
+        value at group formation (:data:`FIB_GENERATION_GUARD`): an eBPF
+        continuation that mutated the FIB flushes the group, and the
+        caller re-resolves the remaining packets against the new FIB.
+        Returns the index of the first unprocessed packet.
+        """
+        from ..ebpf.jit import _JIT_V2_STATS
+
+        counters = self.counters
+        table = self.tables[MAIN_TABLE]
+        generation = table.generation
+        encap = route.encap
+        handler = encap.group_handler()
+        run = self._run_pipeline
+        lookup = self._lookup_route
+        process_resident = encap.process_resident
+        devices = self.devices
+        egress = self._egress_batch
+        name = self.name
+        ecmp_seed = self.ecmp_seed
+        budget = _RECIRCULATION_BUDGET - 1
+        guard = FIB_GENERATION_GUARD
+        _JIT_V2_STATS["bpf_groups"] += 1
+        processed = 0
+        i = start
+        while i < end:
+            pkt = pkts[i]
+            processed += 1
+            disposition = process_resident(pkt, self, handler)
+            i += 1
+            if disposition is _FORWARD:
+                # Inlined plain-forward continuation — the dominant case
+                # (BPF_OK, next segment resolves to an encap-less route);
+                # mirrors _run_pipeline's fast branch plus the decrement
+                # and transmit stages.
+                route2 = lookup(MAIN_TABLE, pkt.dst)
+                if route2 is not None and route2.encap is None and not route2.local:
+                    if pkt.decrement_hop_limit() == 0:
+                        counters.hop_limit_exceeded += 1
+                        self._send_time_exceeded(pkt)
+                    else:
+                        counters.forwarded += 1
+                        nexthops = route2.nexthops
+                        nexthop = (
+                            nexthops[0]
+                            if len(nexthops) == 1
+                            else route2.select_nexthop(pkt.flow_hash() ^ ecmp_seed)
+                        )
+                        if nexthop is None or nexthop.dev not in devices:
+                            counters.dropped += 1
+                        else:
+                            pkt.trace.append(name)
+                            counters.tx += 1
+                            out = egress.get(nexthop.dev)
+                            if out is None:
+                                egress[nexthop.dev] = out = []
+                            out.append(pkt)
+                elif route2 is None:
+                    counters.no_route += 1
+                    counters.dropped += 1
+                else:
+                    ctx.rebind(pkt)
+                    ctx.lookup_dst = pkt.dst
+                    run(ctx, budget, route=route2)
+            else:
+                outcome = self._apply_disposition(disposition, pkt)
+                if outcome is not None:
+                    ctx.rebind(pkt)
+                    ctx.table_id, ctx.nh6 = outcome
+                    run(ctx, budget)
+            if guard and table.generation != generation:
+                _JIT_V2_STATS["bpf_group_flushes"] += 1
+                break
+        counters.seg6local_processed += processed
+        _JIT_V2_STATS["bpf_grouped_packets"] += i - start
+        return i
 
     def _flush_egress(self) -> None:
         """Hand each device its accumulated batch (order preserved per device)."""
@@ -383,19 +508,34 @@ class Node:
         return route
 
     # -- the staged pipeline -----------------------------------------------------
-    def _run_pipeline(self, ctx: DispatchContext) -> None:
-        """Carry one packet through the stages until it leaves or dies."""
+    def _run_pipeline(
+        self,
+        ctx: DispatchContext,
+        budget: int = _RECIRCULATION_BUDGET,
+        route: "Route | None" = None,
+    ) -> None:
+        """Carry one packet through the stages until it leaves or dies.
+
+        ``route`` pre-resolves the first iteration's lookup (batch entry
+        points resolve it while probing for batch-resident groups);
+        ``budget`` is the remaining re-circulation allowance for callers
+        that already consumed a routing decision (the group path).
+        """
         lookup = self._lookup_route
         counters = self.counters
         pkt = ctx.pkt
-        for _ in range(_RECIRCULATION_BUDGET):
-            nh6 = ctx.nh6
-            ctx.lookup_dst = nh6 if nh6 is not None else pkt.dst
-            route = lookup(ctx.table_id or MAIN_TABLE, ctx.lookup_dst)
+        prefetched = route
+        for _ in range(budget):
+            route = prefetched
+            prefetched = None
             if route is None:
-                counters.no_route += 1
-                counters.dropped += 1
-                return
+                nh6 = ctx.nh6
+                ctx.lookup_dst = nh6 if nh6 is not None else pkt.dst
+                route = lookup(ctx.table_id or MAIN_TABLE, ctx.lookup_dst)
+                if route is None:
+                    counters.no_route += 1
+                    counters.dropped += 1
+                    return
             ctx.route = route
             if route.encap is None and not route.local:
                 # Plain forward — the dominant iteration.  Only the

@@ -35,7 +35,7 @@ from .seg6local import (
     SEG6_LOCAL_ACTION_END_T,
     SEG6_LOCAL_ACTION_END_X,
 )
-from .srh import SRH
+from .srh import SRH, srh_wire_span
 
 _ERR = -22 & isa.U64  # -EINVAL
 _OK = 0
@@ -51,15 +51,21 @@ def _require_hook(hctx: HelperContext, allowed: tuple[str, ...], name: str) -> N
         raise HelperError(f"{name} is not available on hook {hctx.hook!r}")
 
 
-def _srh_span(packet_bytes: bytes) -> tuple[int, SRH]:
-    """Locate the SRH; raises HelperError when the packet has none."""
+def _srh_span(packet_bytes) -> tuple[int, int, int]:
+    """(offset, wire length, segment count) of the packet's SRH.
+
+    Raises HelperError when the packet has none.  Uses the fixed-header
+    span check (:func:`repro.net.srh.srh_wire_span`) rather than a full
+    parse — the helpers below only need offsets, and this runs on every
+    ``store_bytes``/``adjust_srh`` call.
+    """
     if len(packet_bytes) < IPV6_HEADER_LEN or packet_bytes[6] != PROTO_ROUTING:
         raise HelperError("packet has no SRH")
     try:
-        srh = SRH.parse(packet_bytes, IPV6_HEADER_LEN)
+        total, nsegs = srh_wire_span(packet_bytes, IPV6_HEADER_LEN)
     except ValueError as exc:
         raise HelperError(f"malformed SRH: {exc}") from exc
-    return IPV6_HEADER_LEN, srh
+    return IPV6_HEADER_LEN, total, nsegs
 
 
 @register_helper(
@@ -78,14 +84,14 @@ def _lwt_seg6_store_bytes(
     implementation.
     """
     _require_hook(hctx, ("seg6local",), "lwt_seg6_store_bytes")
-    packet = hctx.skb.packet_bytes()
-    srh_off, srh = _srh_span(packet)
+    packet = hctx.skb.packet_region.data  # bounds checks only; no copy
+    srh_off, srh_len, nsegs = _srh_span(packet)
     offset = isa.to_signed64(offset)
 
     flags_start = srh_off + 5  # flags byte + 2-byte tag
     flags_end = srh_off + 8
-    tlv_start = srh_off + 8 + 16 * len(srh.segments)
-    tlv_end = srh_off + srh.wire_len
+    tlv_start = srh_off + 8 + 16 * nsegs
+    tlv_end = srh_off + srh_len
 
     in_flags = flags_start <= offset and offset + length <= flags_end
     in_tlvs = tlv_start <= offset and offset + length <= tlv_end
@@ -110,13 +116,13 @@ def _lwt_seg6_adjust_srh(
     post-run validation drops the packet.
     """
     _require_hook(hctx, ("seg6local",), "lwt_seg6_adjust_srh")
-    packet = bytearray(hctx.skb.packet_bytes())
-    srh_off, srh = _srh_span(bytes(packet))
+    packet = bytearray(hctx.skb.packet_region.data)
+    srh_off, srh_len, nsegs = _srh_span(packet)
     offset = isa.to_signed64(offset)
     delta = isa.to_signed64(delta)
 
-    tlv_start = srh_off + 8 + 16 * len(srh.segments)
-    tlv_end = srh_off + srh.wire_len
+    tlv_start = srh_off + 8 + 16 * nsegs
+    tlv_end = srh_off + srh_len
     if delta == 0:
         return _OK
     if delta % 8:
@@ -130,8 +136,8 @@ def _lwt_seg6_adjust_srh(
             return _ERR
         del packet[offset : offset - delta]
 
-    new_ext_len = srh.hdr_ext_len + delta // 8
-    if new_ext_len < (8 + 16 * len(srh.segments)) // 8 - 1 or new_ext_len > 255:
+    new_ext_len = srh_len // 8 - 1 + delta // 8
+    if new_ext_len < (8 + 16 * nsegs) // 8 - 1 or new_ext_len > 255:
         return _ERR
     packet[srh_off + 1] = new_ext_len
     payload_len = struct.unpack_from(">H", packet, 4)[0] + delta

@@ -41,7 +41,7 @@ from .addr import as_addr
 from .ipv6 import IPV6_HEADER_LEN, PROTO_ROUTING
 from .packet import Packet
 from .seg6 import decap_outer, push_outer_encap, push_srh_inline
-from .srh import SRH, SRH_FIXED_LEN, make_srh, validate_srh_bytes
+from .srh import SRH, SRH_FIXED_LEN, make_srh, srh_wire_span, validate_srh_bytes
 
 # Action numbers from include/uapi/linux/seg6_local.h; these are also the
 # values bpf_lwt_seg6_action() accepts.
@@ -140,9 +140,35 @@ def _advance_verdict(data: bytearray) -> tuple:
     return verdict
 
 
+_VALIDATE_MEMO: dict[bytes, str | None] = {}
+_MISSING = object()
+
+
+def _validate_verdict(key: bytes) -> str | None:
+    """Memoised §3.1 post-run SRH validation: None, or the drop reason.
+
+    Validation is a pure function of the raw SRH bytes, so across a
+    batch the (typically per-flow-identical) modified SRH pays the full
+    parse-and-TLV-walk once.
+    """
+    verdict = _VALIDATE_MEMO.get(key, _MISSING)
+    if verdict is _MISSING:
+        try:
+            validate_srh_bytes(key)
+        except ValueError as exc:
+            verdict = str(exc)
+        else:
+            verdict = None
+        if len(_VALIDATE_MEMO) >= _ADVANCE_MEMO_CAP:
+            _VALIDATE_MEMO.clear()
+        _VALIDATE_MEMO[key] = verdict
+    return verdict
+
+
 def clear_advance_memo() -> None:
-    """Drop the SRH-advance memo (benchmark baselines, memory pressure)."""
+    """Drop the SRH memos (benchmark baselines, memory pressure)."""
     _ADVANCE_MEMO.clear()
+    _VALIDATE_MEMO.clear()
 
 
 class Seg6LocalAction:
@@ -313,6 +339,9 @@ class EndBPF(Seg6LocalAction):
 
     def __post_init__(self) -> None:
         self._handler = None  # pinned CompiledHandler (invalidated by generation)
+        # (fn, mem, helpers, ctx_addr, stack_top) bound by the arming
+        # packet of each batch-resident group; see process_resident.
+        self._group_call = None
 
     def process(self, pkt: Packet, node) -> Disposition:
         """Advance the SRH, then run the attached program (§3.1 semantics).
@@ -348,6 +377,126 @@ class EndBPF(Seg6LocalAction):
         )
         return self._run_and_finish(pkt, node, hctx)
 
+    # -- batch-resident invocation (Node._run_group) --------------------------
+    def group_handler(self):
+        """The pinned handler, marked un-armed for a new batch-resident group.
+
+        Same pin/generation dance as :meth:`process`; the ``group_armed``
+        flag makes the first *arming* packet of the group do a full
+        :meth:`~repro.ebpf.jit.CompiledHandler.arm` (rebinding clock/rng —
+        the handler may last have run on another node) while subsequent
+        packets take the light
+        :meth:`~repro.ebpf.jit.CompiledHandler.arm_resident` path.
+        """
+        handler = self._handler
+        if (
+            handler is None
+            or handler.program is not self.program
+            or handler.cache_generation != _jit._HANDLER_CACHE_GENERATION
+        ):
+            handler = compiled_handler(self.program, "seg6local")
+            self._handler = handler
+        else:
+            _HANDLER_CACHE_STATS["handler_hits"] += 1  # pinned-handler reuse
+        handler.group_armed = False
+        return handler
+
+    def process_resident(self, pkt: Packet, node, handler) -> Disposition:
+        """:meth:`process` for one packet of a batch-resident group.
+
+        Identical semantics to :meth:`process`, flattened for the hot
+        loop: the group's handler stays resident between packets (guest
+        address space, clock/rng/node/hook bindings reused, only
+        per-packet state reset), the translated function plus its
+        invariant arguments are bound once per group on the arming
+        packet (``_group_call``), and the §3.1 return-code handling is
+        inlined instead of dispatched through :meth:`_run_and_finish`.
+        """
+        data = pkt.data
+        verdict = _advance_verdict(data)
+        if verdict is _V_NO_SRH:
+            return Disposition.drop(_DROP_NO_SRH)
+        if verdict is _V_SL_ZERO:
+            return Disposition.drop(_DROP_SL_ZERO)
+        new_sl, new_active = verdict
+        data[IPV6_HEADER_LEN + 3] = new_sl
+        data[24:40] = new_active
+
+        program = self.program
+        if handler.group_armed:
+            _HANDLER_CACHE_STATS["handler_hits"] += 1
+            hctx = handler.arm_resident(data, mark=pkt.mark)
+            hctx.packet = pkt  # node/hook bindings persist from the arming packet
+            fn, mem, helpers, ctx_addr, stack_top = self._group_call
+        else:
+            handler.group_armed = True
+            hctx = handler.arm(
+                data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark
+            )
+            hctx.packet = pkt
+            hctx.node = node
+            hctx.hook = "seg6local"
+            skb = hctx.skb
+            jitp = program._jit if program.jit_enabled else None
+            fn = jitp._fn if jitp is not None else None
+            mem = hctx.mem
+            helpers = jitp.helpers if jitp is not None else None
+            ctx_addr = skb.ctx_addr
+            stack_top = skb.stack_top
+            self._group_call = (fn, mem, helpers, ctx_addr, stack_top)
+
+        pstats = program.stats
+        try:
+            if fn is not None:
+                ret = fn(hctx, mem, helpers, ctx_addr, stack_top)
+            else:
+                ret = program._interp.run(hctx, ctx_addr, stack_top)
+        except (VmFault, BpfError) as exc:
+            self.stats["errors"] += 1
+            node.log(f"End.BPF program fault: {exc}")
+            return Disposition.drop(f"program fault: {exc}", bpf=True)
+        pstats.invocations += 1
+        pstats.last_return = ret
+
+        skb = hctx.skb
+        region_data = skb.packet_region.data
+        if region_data != data:
+            pkt.data = bytearray(region_data)
+        pkt.mark = skb.mark
+
+        if hctx.metadata.get("srh_modified") and ret != BPF_DROP:
+            data = pkt.data
+            if len(data) >= IPV6_HEADER_LEN and data[6] == PROTO_ROUTING:
+                try:
+                    srh_len, _ = srh_wire_span(data, IPV6_HEADER_LEN)
+                except ValueError:
+                    srh_len = 0  # no parseable SRH; nothing to revalidate
+                if srh_len:
+                    reason = _validate_verdict(
+                        bytes(data[IPV6_HEADER_LEN : IPV6_HEADER_LEN + srh_len])
+                    )
+                    if reason is not None:
+                        self.stats["drop"] += 1
+                        return Disposition.drop(
+                            f"invalid SRH after BPF: {reason}", bpf=True
+                        )
+
+        if ret == BPF_OK:
+            self.stats["ok"] += 1
+            return _FORWARD
+        if ret == BPF_REDIRECT:
+            self.stats["redirect"] += 1
+            return Disposition.forward(
+                table_id=hctx.metadata.get("redirect_table"),
+                nh6=hctx.metadata.get("redirect_nh6"),
+            )
+        self.stats["drop"] += 1
+        if ret == BPF_DROP:
+            return Disposition.drop("BPF_DROP", bpf=True)
+        # A malformed verdict is a datapath policy drop, not the program
+        # explicitly asking for one — it does not count as bpf_dropped.
+        return Disposition.drop(f"unknown BPF return {ret}")
+
     def _run_and_finish(self, pkt: Packet, node, hctx) -> Disposition:
         """Run the program and apply §3.1 return-code semantics."""
         hctx.packet = pkt
@@ -369,15 +518,21 @@ class EndBPF(Seg6LocalAction):
         pkt.mark = hctx.skb.mark
 
         if hctx.metadata.get("srh_modified") and ret != BPF_DROP:
-            srh_info = pkt.srh()
-            if srh_info is not None:
+            data = pkt.data
+            if len(data) >= IPV6_HEADER_LEN and data[6] == PROTO_ROUTING:
                 try:
-                    validate_srh_bytes(
-                        bytes(pkt.data[srh_info[1] : srh_info[1] + srh_info[0].wire_len])
+                    srh_len, _ = srh_wire_span(data, IPV6_HEADER_LEN)
+                except ValueError:
+                    srh_len = 0  # no parseable SRH; nothing to revalidate
+                if srh_len:
+                    reason = _validate_verdict(
+                        bytes(data[IPV6_HEADER_LEN : IPV6_HEADER_LEN + srh_len])
                     )
-                except ValueError as exc:
-                    self.stats["drop"] += 1
-                    return Disposition.drop(f"invalid SRH after BPF: {exc}", bpf=True)
+                    if reason is not None:
+                        self.stats["drop"] += 1
+                        return Disposition.drop(
+                            f"invalid SRH after BPF: {reason}", bpf=True
+                        )
 
         if ret == BPF_OK:
             self.stats["ok"] += 1

@@ -42,6 +42,30 @@ OFF_LAST_ENTRY = 4
 OFF_FLAGS = 5
 OFF_TAG = 6
 
+
+def srh_wire_span(data, offset: int = 0) -> tuple[int, int]:
+    """(wire length, segment count) of the SRH at ``offset``.
+
+    Reads only the fixed-header bytes — no segment-list or TLV
+    materialisation — and raises ValueError on exactly the
+    malformations :meth:`SRH.parse` rejects before building segments.
+    Hot paths (helper bounds checks, post-run revalidation spans) use
+    this instead of a full parse.
+    """
+    if len(data) - offset < SRH_FIXED_LEN:
+        raise ValueError("truncated SRH")
+    if data[offset + OFF_ROUTING_TYPE] != ROUTING_TYPE_SRH:
+        raise ValueError(
+            f"routing type {data[offset + OFF_ROUTING_TYPE]} is not an SRH"
+        )
+    total = (data[offset + OFF_HDR_EXT_LEN] + 1) * 8
+    if len(data) - offset < total:
+        raise ValueError("SRH length exceeds packet")
+    nsegs = data[offset + OFF_LAST_ENTRY] + 1
+    if SRH_FIXED_LEN + SEGMENT_LEN * nsegs > total:
+        raise ValueError("segment list exceeds SRH length")
+    return total, nsegs
+
 # TLV types.  Pad1/PadN are from RFC 8200; HMAC from RFC 8754.  The DM and
 # controller TLVs are experimental-range types for the paper's §4.1
 # one-way-delay measurement (draft-ali-spring-srv6-pm).
