@@ -13,6 +13,7 @@ from .harness import (
     drive_batch,
     make_fig2_router,
     make_router,
+    make_router_net,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "drive_batch",
     "make_fig2_router",
     "make_router",
+    "make_router_net",
 ]

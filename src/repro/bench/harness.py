@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ebpf import Program
-from ..ebpf.jit import handler_cache_stats
 from ..lab import Network
 from ..net import End, EndBPF, EndT, Node, Packet
 from ..progs import add_tlv_prog, end_prog, end_t_prog, tag_increment_prog
@@ -25,19 +24,26 @@ SINK_ADDR = "fc00:2::2"
 BATCH_SIZE = 256
 
 
-def make_router() -> Node:
-    """The router-under-test (R in setup 1), with a sink route.
+def make_router_net() -> tuple[Network, Node]:
+    """The router-under-test (R in setup 1) and the network that owns it.
 
     Built through the declarative builder with detached devices: the
     direct-datapath microbenchmarks push batches straight into the node
     and read ``eth1``'s ``tx_buffer``, bypassing the event loop (the
-    builder's never-run scheduler keeps the clock at 0).
+    builder's never-run scheduler keeps the clock at 0).  The network
+    handle is what telemetry-enabled benches attach their
+    :meth:`~repro.lab.network.Network.telemetry` session to.
     """
     net = Network()
     node = net.add_node("R", addr="fc00:e::1", devices=("eth0", "eth1"))
     net.config("R", "ip -6 route add fc00:1::/64 via fc00:1::1 dev eth0")
     net.config("R", f"ip -6 route add {SINK_PREFIX} via {SINK_ADDR} dev eth1")
-    return node
+    return net, node
+
+
+def make_router() -> Node:
+    """Just the router node (see :func:`make_router_net`)."""
+    return make_router_net()[1]
 
 
 # --- Figure 2 router variants -------------------------------------------------
@@ -95,11 +101,6 @@ def copy_batch(templates: list[Packet]) -> list[Packet]:
     return [Packet(bytes(p.data)) for p in templates]
 
 
-# flow_table_entries is a gauge (current occupancy); everything else in
-# amortisation_stats() is a monotonic counter and delta-able via ``since``.
-_AMORTISATION_GAUGES = ("flow_table_entries",)
-
-
 def amortisation_stats(node: Node, scheduler=None, since: dict | None = None) -> dict:
     """Cache-effectiveness counters for benchmark reporting.
 
@@ -107,24 +108,28 @@ def amortisation_stats(node: Node, scheduler=None, since: dict | None = None) ->
     memoisation (:class:`~repro.net.node.FlowTable` hits/misses),
     compiled-handler reuse (the per-(program, attach point) eBPF
     invocation cache), and — when a scheduler is involved — the heap
-    events saved by batch delivery.  The node and handler-cache counters
-    are cumulative; pass a previous snapshot as ``since`` to get per-run
-    deltas (gauges like ``flow_table_entries`` are never diffed).
-    Attach the result to benchmark JSON (``benchmark.extra_info``) so
-    amortisation regressions show up in recorded runs, not just
-    wall-clock.
+    events saved by batch delivery.  The counters come from the same
+    :mod:`repro.telemetry` collectors a streaming session samples
+    (unlabelled, so the historical flat key names are unchanged); the
+    sample kind drives the ``since`` delta — counters are diffed,
+    gauges like ``flow_table_entries`` never are.  Attach the result to
+    benchmark JSON (``benchmark.extra_info``) so amortisation
+    regressions show up in recorded runs, not just wall-clock.
     """
-    stats = {
-        "flow_table_hits": node.flow_table.hits,
-        "flow_table_misses": node.flow_table.misses,
-        "flow_table_entries": len(node.flow_table),
-        **handler_cache_stats(),
-    }
+    from ..telemetry.instrument import jit_samples, node_cache_samples, scheduler_samples
+    from ..telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.register(lambda: node_cache_samples(node))
+    registry.register(jit_samples)
     if scheduler is not None:
-        stats["events_coalesced"] = scheduler.events_coalesced
+        registry.register(lambda: scheduler_samples(scheduler))
+    samples = registry.collect()
+    stats = {sample.render(): sample.value for sample in samples}
     if since is not None:
+        gauges = {sample.render() for sample in samples if sample.kind == "gauge"}
         stats = {
-            key: value - since.get(key, 0) if key not in _AMORTISATION_GAUGES else value
+            key: value - since.get(key, 0) if key not in gauges else value
             for key, value in stats.items()
         }
     return stats

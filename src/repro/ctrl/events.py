@@ -39,6 +39,9 @@ class ControlBus:
     def __init__(self, clock_ns: Callable[[], int]):
         self.clock_ns = clock_ns
         self.events: list[CtrlEvent] = []
+        # Running totals per (kind, node) — the telemetry ``ctrl_events``
+        # counter reads this instead of re-scanning the log.
+        self.counts: dict[tuple[str, str], int] = {}
         self._subscribers: dict[str, list[Callable[[CtrlEvent], None]]] = {}
 
     def subscribe(self, kind: str, handler: Callable[[CtrlEvent], None]) -> None:
@@ -48,6 +51,8 @@ class ControlBus:
     def publish(self, node: str, kind: str, **detail) -> CtrlEvent:
         event = CtrlEvent(self.clock_ns(), node, kind, detail)
         self.events.append(event)
+        key = (kind, node)
+        self.counts[key] = self.counts.get(key, 0) + 1
         for handler in self._subscribers.get(kind, ()):
             handler(event)
         for handler in self._subscribers.get("*", ()):

@@ -287,7 +287,7 @@ def _perf_event_output(
         raise HelperError("perf_event_output requires a perf event array map")
     data = hctx.mem.read_bytes(data_addr, size)
     cpu = hctx.cpu if flags == BPF_F_CURRENT_CPU else flags & 0xFFFFFFFF
-    return 0 if map_obj.output(cpu, data) else (-2 & isa.U64)
+    return 0 if map_obj.output(cpu, data, hctx.clock_ns()) else (-2 & isa.U64)
 
 
 BPF_F_CURRENT_CPU = 0xFFFFFFFF

@@ -304,9 +304,13 @@ class PerfEventArrayMap(Map):
             raise MapError(f"perf array {self.name!r}: no CPU {cpu}")
         return self._rings[cpu]
 
-    def output(self, cpu: int, data: bytes) -> bool:
-        """Push one record; returns False if the ring rejected it."""
-        return self.ring(cpu).push(data)
+    def output(self, cpu: int, data: bytes, time_ns: int = 0) -> bool:
+        """Push one record; returns False if the ring rejected it.
+
+        ``time_ns`` stamps the record (telemetry bridges merge several
+        rings by timestamp); plain byte drains ignore it.
+        """
+        return self.ring(cpu).push(data, time_ns)
 
     def lookup_slot(self, key: bytes):
         return None

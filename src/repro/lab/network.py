@@ -93,6 +93,8 @@ class Network:
         self._planes: dict[str, IpRoute] = {}
         self._auto_addr = 0
         self._ctrl = None  # repro.ctrl.ControlPlane, created by ctrl()
+        self._metrics = None  # repro.telemetry.MetricsRegistry, lazy
+        self._telemetry = None  # repro.telemetry.TelemetrySession
 
     # -- seed derivation -------------------------------------------------------
     def derive_seed(self, *key) -> int | None:
@@ -481,6 +483,53 @@ class Network:
             raise RuntimeError("this network already has a control plane")
         self._ctrl = ControlPlane(self, **kwargs).start()
         return self._ctrl
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def metrics(self):
+        """The network's :class:`~repro.telemetry.MetricsRegistry` (lazy).
+
+        Every counter the simulation keeps — node/device/link/CPU
+        counters, per-SID seg6local actions, BPF verdicts per hook, perf
+        rings, flow meters, IGP state, the global JIT caches — is
+        readable here, labelled by ``(node, device, sid, hook)``.
+        Collection snapshots the live structs; nothing is added to the
+        datapath.
+        """
+        if self._metrics is None:
+            from ..telemetry import MetricsRegistry, instrument_network
+
+            self._metrics = instrument_network(MetricsRegistry(), self)
+        return self._metrics
+
+    def telemetry(
+        self,
+        interval_ms: "int | float" = 10,
+        sink=None,
+        *,
+        interval_ns: int | None = None,
+        rings: dict | None = None,
+    ):
+        """Start a streaming export (:class:`~repro.telemetry.TelemetrySession`).
+
+        Arms a recurring sampler on the simulation scheduler: every
+        interval it drains installed perf event rings, flushes buffered
+        control-bus events and snapshots :attr:`metrics`, all into one
+        time-ordered JSONL stream on ``sink`` (default: a bounded
+        in-memory :class:`~repro.telemetry.RingSink`).  With
+        ``Network(seed=N)`` the export is byte-identical across runs.
+        One session per network; ``session.close()`` disarms it.
+        """
+        from ..telemetry import TelemetrySession
+
+        if self._telemetry is not None and not self._telemetry.closed:
+            raise RuntimeError("this network already has a telemetry session")
+        if interval_ns is None:
+            interval_ns = int(interval_ms * 1_000_000)
+        self._telemetry = TelemetrySession(
+            self, self.metrics, interval_ns, sink=sink, rings=rings
+        )
+        return self._telemetry
 
     def on(self, at_ns: int, fn, *args):
         """Run ``fn(*args)`` at simulated time ``at_ns`` (scripted events).

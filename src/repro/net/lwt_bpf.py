@@ -34,6 +34,9 @@ class BpfLwt:
     stats: dict = field(
         default_factory=lambda: {"ok": 0, "drop": 0, "redirect": 0, "errors": 0}
     )
+    # Program runs per hook name ("lwt_in"/"lwt_out"/"lwt_xmit") — the
+    # telemetry hook axis; stats above stays the aggregate verdict view.
+    hook_runs: dict = field(default_factory=dict)
     # Pinned per-hook CompiledHandlers (same generation-checked pin as
     # EndBPF): avoids rebuilding a dict literal and probing the global
     # handler cache on every packet of a batch.
@@ -74,6 +77,7 @@ class BpfLwt:
             program = None
         if program is None:
             return _FORWARD
+        self.hook_runs[hook] = self.hook_runs.get(hook, 0) + 1
 
         hctx = self._handler_for(hook, program).arm(
             pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark

@@ -470,6 +470,7 @@ class Node:
                 _JIT_V2_STATS["bpf_group_flushes"] += 1
                 break
         counters.seg6local_processed += processed
+        encap.processed += processed
         _JIT_V2_STATS["bpf_grouped_packets"] += i - start
         return i
 
@@ -570,6 +571,7 @@ class Node:
         if not isinstance(encap, Seg6LocalAction):
             return _NEXT
         self.counters.seg6local_processed += 1
+        encap.processed += 1
         disposition = encap.process(ctx.pkt, self)
         if disposition is _FORWARD:
             ctx.table_id = ctx.nh6 = None

@@ -176,6 +176,11 @@ class Seg6LocalAction:
 
     kind = "End"
     needs_srh = True
+    # Packets handed to this action instance (the per-SID telemetry
+    # counter); bumped by the node after dispatch, not on the hot path
+    # of process() itself.  Class default keeps dataclass subclasses'
+    # generated __init__ signatures unchanged.
+    processed = 0
 
     def process(self, pkt: Packet, node) -> Disposition:
         """Validate the SRH, advance to the next segment, forward (plain End, §2).

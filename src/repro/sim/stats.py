@@ -2,15 +2,27 @@
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, field
 
 from ..net.packet import Packet
 from .scheduler import NS_PER_SEC
 
+DEFAULT_DELAY_SAMPLES = 4096
+
 
 @dataclass
 class FlowMeter:
-    """Counts delivered payload; bind its :meth:`on_packet` as a listener."""
+    """Counts delivered payload; bind its :meth:`on_packet` as a listener.
+
+    Per-packet delays are reservoir-sampled (algorithm R) into
+    ``delays_ns``, capped at ``max_samples`` so a long run's memory stays
+    bounded while percentiles remain a uniform estimate of the whole
+    stream.  ``delay_count``/``delay_sum_ns`` keep exact running totals,
+    so the mean never degrades to an estimate.  The reservoir RNG is
+    seeded from the meter name, keeping seeded runs reproducible.
+    """
 
     name: str = "flow"
     packets: int = 0
@@ -18,8 +30,16 @@ class FlowMeter:
     first_ns: int | None = None
     last_ns: int | None = None
     out_of_order: int = 0
+    delay_count: int = 0
+    delay_sum_ns: int = 0
+    max_samples: int = DEFAULT_DELAY_SAMPLES
     _last_seq: int = field(default=-1, repr=False)
     delays_ns: list = field(default_factory=list, repr=False)
+    _rng: random.Random = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self._rng is None:
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
 
     def on_packet(self, pkt: Packet, node) -> None:
         payload = pkt.udp_payload()
@@ -35,7 +55,19 @@ class FlowMeter:
                 self.out_of_order += 1
             self._last_seq = max(self._last_seq, pkt.seq)
         if pkt.tx_tstamp_ns:
-            self.delays_ns.append(now - pkt.tx_tstamp_ns)
+            self._observe_delay(now - pkt.tx_tstamp_ns)
+
+    def _observe_delay(self, delay_ns: int) -> None:
+        self.delay_count += 1
+        self.delay_sum_ns += delay_ns
+        if self.max_samples is None or len(self.delays_ns) < self.max_samples:
+            self.delays_ns.append(delay_ns)
+        else:
+            # Algorithm R: keep each of the N seen delays with equal
+            # probability max_samples/N.
+            slot = self._rng.randrange(self.delay_count)
+            if slot < self.max_samples:
+                self.delays_ns[slot] = delay_ns
 
     # -- derived metrics ------------------------------------------------------
     def goodput_bps(self, duration_ns: int | None = None) -> float:
@@ -49,7 +81,22 @@ class FlowMeter:
         return self.payload_bytes * 8 * NS_PER_SEC / duration_ns
 
     def mean_delay_ns(self) -> float:
-        return sum(self.delays_ns) / len(self.delays_ns) if self.delays_ns else 0.0
+        """Exact mean over every observed delay (not just the reservoir)."""
+        return self.delay_sum_ns / self.delay_count if self.delay_count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Delay percentile (0–100) from the reservoir, linear interpolation."""
+        if not self.delays_ns:
+            return 0.0
+        ordered = sorted(self.delays_ns)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if frac == 0.0:
+            return float(ordered[lo])
+        return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
 
 
 def mbps(bps: float) -> float:

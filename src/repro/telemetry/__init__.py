@@ -1,0 +1,38 @@
+"""repro.telemetry — streaming observability over running networks.
+
+The registry → samplers → sinks pipeline:
+
+* :class:`MetricsRegistry` (:mod:`repro.telemetry.metrics`) is the one
+  read path for every counter/gauge/histogram, labelled by
+  ``(node, device, sid, hook)``;
+* :mod:`repro.telemetry.instrument` adopts the simulation's existing
+  counters into a registry without touching the hot path;
+* :class:`TelemetrySession` (:mod:`repro.telemetry.sampler`) snapshots
+  the registry periodically, drains perf rings and bridges control-bus
+  events into one time-ordered JSONL stream;
+* :class:`RingSink`/:class:`FileSink` (:mod:`repro.telemetry.sink`)
+  receive that stream — bounded and lossy-with-drop-counts, or a file.
+
+Enable per network with ``net.telemetry(interval_ms=10)``; inspect live
+runs interactively with :mod:`repro.cli`.
+"""
+
+from .instrument import instrument_network, network_samples, perf_maps
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
+from .sampler import TelemetrySession
+from .sink import FileSink, RingSink, encode
+
+__all__ = [
+    "Counter",
+    "FileSink",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RingSink",
+    "Sample",
+    "TelemetrySession",
+    "encode",
+    "instrument_network",
+    "network_samples",
+    "perf_maps",
+]

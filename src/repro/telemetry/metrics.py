@@ -1,0 +1,239 @@
+"""The labelled metrics registry: one read path for every counter.
+
+The paper's own use cases are observability functions — End.DM pushes
+timestamp pairs over perf rings (§4.1), End.OAMP answers live FIB
+queries (§4.3) — and the simulation grew matching counters organically:
+:class:`~repro.net.node.NodeCounters`, per-device ``DevStats``,
+per-direction ``LinkStats``, ``CpuStats``, the JIT handler-cache stats,
+the control bus log.  This module makes one :class:`MetricsRegistry`
+the *single source* for reading all of them.
+
+Two registration styles coexist:
+
+* **owned** metrics (:meth:`MetricsRegistry.counter` /
+  :meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`)
+  are created and mutated through the registry — for new subsystems;
+* **adopted** metrics arrive through *collectors*
+  (:meth:`MetricsRegistry.register`): a callable returning
+  :class:`Sample` tuples, invoked at :meth:`~MetricsRegistry.collect`
+  time.  The datapath keeps its plain-attribute increments (the hot
+  path pays nothing for observability) and the collector snapshots
+  them on demand — the pull model Prometheus client libraries use.
+
+Labels follow the issue's ``(node, device, sid, hook)`` axes; a sample
+renders as ``name{key=value,...}`` with keys sorted, so a collected
+snapshot is deterministically ordered and byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, NamedTuple
+
+# Histogram bucket upper bounds in nanoseconds: 1 µs … 1 s, decade steps.
+DEFAULT_BUCKETS_NS = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+)
+
+
+class Sample(NamedTuple):
+    """One collected measurement: a metric name, its labels, a value."""
+
+    name: str
+    labels: tuple  # sorted ((key, value), ...) pairs
+    value: "int | float"
+    kind: str = "counter"  # counter | gauge | histogram
+
+    def render(self) -> str:
+        """``name{key=value,...}`` (or the bare name when unlabelled)."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing owned metric."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters are monotonic; use a Gauge to go down")
+        self.value += n
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.labels, self.value, self.kind)
+
+
+class Gauge:
+    """A point-in-time owned metric: set directly, or pulled from ``fn``."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "fn", "_value")
+
+    def __init__(self, name: str, labels: tuple, fn: Callable[[], float] | None = None):
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+        self._value = 0
+
+    def set(self, value: "int | float") -> None:
+        self._value = value
+
+    @property
+    def value(self) -> "int | float":
+        return self.fn() if self.fn is not None else self._value
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.labels, self.value, self.kind)
+
+
+class Histogram:
+    """Bucketed distribution: cumulative bucket counts plus count/sum.
+
+    Collected as ``name_count``, ``name_sum`` and one
+    ``name_bucket{le=...}`` sample per bound (cumulative, like
+    Prometheus), so percentile floors can be read straight off a
+    snapshot without keeping raw observations.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum")
+
+    def __init__(self, name: str, labels: tuple, bounds: tuple = DEFAULT_BUCKETS_NS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +inf overflow bucket
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: "int | float") -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(f"{self.name}_count", self.labels, self.count, self.kind)
+        yield Sample(f"{self.name}_sum", self.labels, self.sum, self.kind)
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            cumulative += n
+            yield Sample(
+                f"{self.name}_bucket",
+                tuple(sorted(self.labels + (("le", str(bound)),))),
+                cumulative,
+                self.kind,
+            )
+        yield Sample(
+            f"{self.name}_bucket",
+            tuple(sorted(self.labels + (("le", "+Inf"),))),
+            self.count,
+            self.kind,
+        )
+
+
+class MetricsRegistry:
+    """Owned metrics plus adopted collectors, snapshotted on demand.
+
+    ``collect()`` is the one read path: it walks owned metrics and every
+    registered collector, and returns samples sorted by
+    ``(name, labels)`` — a deterministic ordering that the telemetry
+    export stream and the determinism tests rely on.
+    """
+
+    def __init__(self):
+        self._owned: dict[tuple, object] = {}  # (name, labels) -> metric
+        self._collectors: list[Callable[[], Iterable[Sample]]] = []
+
+    # -- owned metrics -------------------------------------------------------
+    def _owned_metric(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._owned.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._owned[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Create-or-get an owned counter for this (name, labels) pair."""
+        return self._owned_metric(Counter, name, labels)
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None, **labels) -> Gauge:
+        """Create-or-get an owned gauge (``fn`` makes it pull-based)."""
+        gauge = self._owned_metric(Gauge, name, labels)
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: tuple = DEFAULT_BUCKETS_NS, **labels
+    ) -> Histogram:
+        """Create-or-get an owned histogram with the given bucket bounds."""
+        return self._owned_metric(Histogram, name, labels, bounds=bounds)
+
+    # -- adopted metrics -----------------------------------------------------
+    def register(self, collector: Callable[[], Iterable[Sample]]) -> None:
+        """Adopt a collector: called at every collect() for its samples.
+
+        Collectors enumerate their world dynamically (a network collector
+        walks ``net.nodes`` at call time), so components added after
+        registration are picked up without re-registration.
+        """
+        self._collectors.append(collector)
+
+    # -- reading -------------------------------------------------------------
+    def collect(self) -> list[Sample]:
+        """Every sample, sorted by (name, labels) — the one read path."""
+        out: list[Sample] = []
+        for metric in self._owned.values():
+            out.extend(metric.samples())
+        for collector in self._collectors:
+            out.extend(collector())
+        out.sort(key=lambda s: (s.name, s.labels))
+        return out
+
+    def as_dict(self) -> dict:
+        """The snapshot as ``{rendered_name: value}`` (insertion = sorted)."""
+        return {sample.render(): sample.value for sample in self.collect()}
+
+    def value(self, name: str, default=None, **labels):
+        """The current value of one metric (None/default when absent)."""
+        want = _label_key(labels)
+        for sample in self.collect():
+            if sample.name == name and sample.labels == want:
+                return sample.value
+        return default
+
+    def query(self, *needles: str) -> dict:
+        """Samples whose rendered name contains every given substring."""
+        out = {}
+        for sample in self.collect():
+            rendered = sample.render()
+            if all(needle in rendered for needle in needles):
+                out[rendered] = sample.value
+        return out

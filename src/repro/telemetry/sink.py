@@ -1,0 +1,89 @@
+"""Export sinks: where the telemetry JSONL stream lands.
+
+Records are encoded with sorted keys and no whitespace, so a seeded run
+produces a byte-identical export every time (the determinism gate).
+:class:`RingSink` is the bounded in-memory default — lossy under
+pressure with an explicit drop count, exactly like a
+:class:`~repro.userspace.perf.PerfRing`; :class:`FileSink` appends to a
+file (or any writable object) for long-lived runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+DEFAULT_SINK_CAPACITY = 65536
+
+
+def encode(record: dict) -> str:
+    """One canonical JSONL line: sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+
+
+class RingSink:
+    """A bounded in-memory line buffer; rejects (and counts) when full.
+
+    ``capacity=None`` removes the bound — what the determinism tests use
+    to compare complete exports.
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_SINK_CAPACITY):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("sink capacity must be positive (or None)")
+        self.capacity = capacity
+        self._lines: deque[str] = deque()
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, line: str) -> bool:
+        if self.capacity is not None and len(self._lines) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._lines.append(line)
+        self.emitted += 1
+        return True
+
+    def lines(self) -> list[str]:
+        return list(self._lines)
+
+    def tail(self, n: int) -> list[str]:
+        if n <= 0:
+            return []
+        return list(self._lines)[-n:]
+
+    def text(self) -> str:
+        """The whole export as one JSONL document."""
+        return "".join(line + "\n" for line in self._lines)
+
+    def records(self) -> list[dict]:
+        """Decoded records (convenience for tests and notebooks)."""
+        return [json.loads(line) for line in self._lines]
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class FileSink:
+    """Appends JSONL lines to a path (or a ready file-like object)."""
+
+    def __init__(self, target):
+        if isinstance(target, (str, Path)):
+            self._fh = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.emitted = 0
+        self.dropped = 0  # a file sink never drops; kept for interface parity
+
+    def emit(self, line: str) -> bool:
+        self._fh.write(line + "\n")
+        self.emitted += 1
+        return True
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()

@@ -7,14 +7,23 @@ this to hand timestamp pairs to its Python daemon.
 
 :class:`PerfRing` models one per-CPU ring: bounded, lossy under pressure
 (it counts drops, as the kernel does), drained by :class:`PerfPoller`.
+Records carry the simulated push timestamp, so a telemetry bridge can
+merge several rings into one time-ordered export stream.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable
+from typing import Callable, Iterable, NamedTuple
 
 DEFAULT_RING_CAPACITY = 4096
+
+
+class PerfRecord(NamedTuple):
+    """One ring entry: the raw bytes plus the simulated push instant."""
+
+    time_ns: int
+    data: bytes
 
 
 class PerfRing:
@@ -24,22 +33,31 @@ class PerfRing:
         if capacity <= 0:
             raise ValueError("ring capacity must be positive")
         self.capacity = capacity
-        self._queue: deque[bytes] = deque()
+        self._queue: deque[PerfRecord] = deque()
         self.pushed = 0
         self.dropped = 0
 
-    def push(self, record: bytes) -> bool:
-        """Append a record; returns False (and counts a drop) when full."""
+    def push(self, record: bytes, time_ns: int = 0) -> bool:
+        """Append a record; returns False (and counts a drop) when full.
+
+        ``time_ns`` stamps the record with the push instant (the eBPF
+        ``perf_event_output`` helper passes the program clock); pollers
+        that only want bytes ignore it.
+        """
         if len(self._queue) >= self.capacity:
             self.dropped += 1
             return False
-        self._queue.append(bytes(record))
+        self._queue.append(PerfRecord(time_ns, bytes(record)))
         self.pushed += 1
         return True
 
     def drain(self, max_records: int | None = None) -> list[bytes]:
         """Remove and return up to ``max_records`` records (all if None)."""
-        out: list[bytes] = []
+        return [record.data for record in self.drain_records(max_records)]
+
+    def drain_records(self, max_records: int | None = None) -> list[PerfRecord]:
+        """Like :meth:`drain`, keeping the timestamps (telemetry bridge)."""
+        out: list[PerfRecord] = []
         while self._queue and (max_records is None or len(out) < max_records):
             out.append(self._queue.popleft())
         return out

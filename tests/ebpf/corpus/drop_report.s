@@ -1,0 +1,29 @@
+; runt filter: count each drop in a map, report it over perf, forward the rest
+.map drops, array, key=4, value=8, entries=1
+.map events, perf_event_array, entries=1
+    r6 = r1
+    r7 = *(u32 *)(r6 + 0)
+    if r7 > 63 goto ok
+    *(u32 *)(r10 - 4) = 0
+    r1 = drops ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto report
+    r1 = *(u64 *)(r0 + 0)
+    r1 += 1
+    *(u64 *)(r0 + 0) = r1
+report:
+    *(u64 *)(r10 - 16) = r7
+    r1 = r6
+    r2 = events ll
+    r3 = 0
+    r4 = r10
+    r4 += -16
+    r5 = 8
+    call perf_event_output
+    r0 = 2
+    exit
+ok:
+    r0 = 0
+    exit

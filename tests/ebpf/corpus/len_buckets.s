@@ -1,0 +1,19 @@
+; length histogram: bucket = min(len >> 8, 3), one map counter per bucket
+.map buckets, array, key=4, value=8, entries=4
+    r2 = *(u32 *)(r1 + 0)
+    r2 >>= 8
+    if r2 < 4 goto store
+    r2 = 3
+store:
+    *(u32 *)(r10 - 4) = r2
+    r1 = buckets ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r1 = *(u64 *)(r0 + 0)
+    r1 += 1
+    *(u64 *)(r0 + 0) = r1
+out:
+    r0 = 0
+    exit

@@ -1,0 +1,21 @@
+; fan the same record out to two explicit CPU rings (flags = cpu index)
+.map events, perf_event_array, entries=2
+    r6 = r1
+    r2 = *(u32 *)(r6 + 0)
+    *(u64 *)(r10 - 8) = r2
+    r1 = r6
+    r2 = events ll
+    r3 = 0
+    r4 = r10
+    r4 += -8
+    r5 = 8
+    call perf_event_output
+    r1 = r6
+    r2 = events ll
+    r3 = 1
+    r4 = r10
+    r4 += -8
+    r5 = 8
+    call perf_event_output
+    r0 = 0
+    exit

@@ -1,0 +1,25 @@
+; sample 1-in-4 packets: a map counter gates perf_event_output
+.map seen, array, key=4, value=8, entries=1
+.map events, perf_event_array, entries=1
+    r6 = r1
+    *(u32 *)(r10 - 4) = 0
+    r1 = seen ll
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r7 = *(u64 *)(r0 + 0)
+    r7 += 1
+    *(u64 *)(r0 + 0) = r7
+    if r7 & 3 goto out
+    *(u64 *)(r10 - 16) = r7
+    r1 = r6
+    r2 = events ll
+    r3 = 0
+    r4 = r10
+    r4 += -16
+    r5 = 8
+    call perf_event_output
+out:
+    r0 = 0
+    exit

@@ -1,0 +1,59 @@
+"""FlowMeter delay reservoir: bounded memory, exact means, stable tails."""
+
+from repro.sim.stats import DEFAULT_DELAY_SAMPLES, FlowMeter
+
+
+def _feed(meter: FlowMeter, delays) -> None:
+    for d in delays:
+        meter._observe_delay(d)
+
+
+def test_reservoir_is_capped_but_totals_are_exact():
+    meter = FlowMeter("cap", max_samples=128)
+    _feed(meter, range(1, 10_001))
+    assert len(meter.delays_ns) == 128
+    assert meter.delay_count == 10_000
+    assert meter.delay_sum_ns == sum(range(1, 10_001))
+    assert meter.mean_delay_ns() == meter.delay_sum_ns / 10_000
+
+
+def test_default_cap_matches_constant():
+    meter = FlowMeter()
+    _feed(meter, range(DEFAULT_DELAY_SAMPLES + 500))
+    assert len(meter.delays_ns) == DEFAULT_DELAY_SAMPLES
+
+
+def test_below_cap_keeps_every_sample():
+    meter = FlowMeter("small", max_samples=100)
+    _feed(meter, [10, 30, 20])
+    assert meter.delays_ns == [10, 30, 20]
+    assert meter.percentile(50) == 20
+    assert meter.percentile(0) == 10 and meter.percentile(100) == 30
+
+
+def test_reservoir_percentiles_track_the_stream():
+    # 50k uniform draws through a 4k reservoir: the median estimate must
+    # stay within a few percent of the true median.
+    meter = FlowMeter("tail")
+    _feed(meter, ((i * 7919) % 50_000 for i in range(50_000)))
+    p50 = meter.percentile(50)
+    assert abs(p50 - 25_000) / 25_000 < 0.05
+    assert meter.percentile(99) > meter.percentile(50) > meter.percentile(1)
+
+
+def test_reservoir_is_deterministic_per_name():
+    runs = []
+    for _ in range(2):
+        meter = FlowMeter("det", max_samples=64)
+        _feed(meter, range(5_000))
+        runs.append(list(meter.delays_ns))
+    assert runs[0] == runs[1]
+    other = FlowMeter("other-name", max_samples=64)
+    _feed(other, range(5_000))
+    assert other.delays_ns != runs[0]
+
+
+def test_unbounded_reservoir_opt_out():
+    meter = FlowMeter("all", max_samples=None)
+    _feed(meter, range(10_000))
+    assert len(meter.delays_ns) == 10_000
