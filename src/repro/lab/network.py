@@ -79,8 +79,10 @@ class Network:
         self,
         seed: int | None = None,
         objects: dict[str, Program] | None = None,
+        shards: int = 1,
     ):
         self.seed = seed
+        self.shards = int(shards)
         self.scheduler = Scheduler()
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
@@ -95,6 +97,8 @@ class Network:
         self._ctrl = None  # repro.ctrl.ControlPlane, created by ctrl()
         self._metrics = None  # repro.telemetry.MetricsRegistry, lazy
         self._telemetry = None  # repro.telemetry.TelemetrySession
+        self._meter_nodes: list[str] = []  # sink() owners, for repro.shard
+        self._sharded = False  # a sharded run is terminal for the network
 
     # -- seed derivation -------------------------------------------------------
     def derive_seed(self, *key) -> int | None:
@@ -139,6 +143,7 @@ class Network:
         cpu: CostModel | None = None,
         cpu_queue_limit: int = 1000,
         seed: int | None = None,
+        shard: int | None = None,
     ) -> Node:
         """Create a node on the shared scheduler clock.
 
@@ -149,6 +154,8 @@ class Network:
         that read ``tx_buffer`` directly); link-facing devices are
         normally auto-created by :meth:`add_link`.  ``cpu`` attaches a
         :class:`~repro.sim.cpu.CpuQueue` with the given cost model.
+        ``shard`` pins the node to one shard of a ``run(shards=K)``
+        partition (see :mod:`repro.shard`).
         """
         if name in self.nodes:
             raise ValueError(f"node {name!r} already exists")
@@ -157,6 +164,8 @@ class Network:
         ecmp_seed = self.derive_seed("ecmp", name)
         if ecmp_seed is not None:
             node.ecmp_seed = ecmp_seed
+        if shard is not None:
+            node.shard = int(shard)
         self.nodes[name] = node
         for dev in devices:
             node.add_device(dev)
@@ -449,6 +458,7 @@ class Network:
         meter = FlowMeter(name or f"{target.name}:{port}")
         target.bind(meter.on_packet, proto=proto, port=port)
         self.meters.append(meter)
+        self._meter_nodes.append(target.name)
         return meter
 
     def tcp(
@@ -548,6 +558,7 @@ class Network:
         max_events: int | None = None,
         *,
         until_ms: "int | float | None" = None,
+        shards: int | None = None,
     ) -> RunResult:
         """Drive the event loop to the horizon (or until the heap drains).
 
@@ -555,11 +566,30 @@ class Network:
         ``until_ns`` (mutually exclusive).  Returns the executed-event
         count as a :class:`RunResult`, which doubles as a context manager
         for the scoped-readout style.
+
+        ``shards=K`` (or ``Network(shards=K)``) executes the run across
+        K worker processes with the conservative parallel engine
+        (:mod:`repro.shard`): same deliveries, counters and telemetry as
+        ``shards=1``, byte for byte, on a seeded network.  A sharded run
+        needs an explicit horizon, must be the network's first run, and
+        is terminal — results are merged back here, but the network
+        cannot be driven further afterwards.
         """
+        if self._sharded:
+            raise RuntimeError(
+                "this network already completed a sharded run; its results "
+                "are merged, but it cannot be driven further — build a "
+                "fresh Network for another run"
+            )
         if until_ms is not None:
             if until_ns is not None:
                 raise ValueError("pass either until_ns or until_ms, not both")
             until_ns = int(until_ms * 1_000_000)
+        count = self.shards if shards is None else int(shards)
+        if count > 1:
+            from ..shard import run_sharded
+
+            return run_sharded(self, until_ns, count, max_events=max_events)
         executed = self.scheduler.run(until_ns=until_ns, max_events=max_events)
         return RunResult(executed)
 

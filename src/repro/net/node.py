@@ -184,6 +184,7 @@ class Node:
         self.listeners: list[Listener] = []
         self.counters = NodeCounters()
         self.cpu = None  # optional repro.sim.cpu.CpuQueue for DES experiments
+        self.shard = None  # explicit shard pin honoured by repro.shard.partition
         self.log_messages: list[str] = []
         self.answer_echo = True
         self.flow_table = FlowTable()  # route-resolution memo

@@ -1,0 +1,43 @@
+"""Conservative parallel simulation: one network, K schedulers, K cores.
+
+The single-process engine tops out around ~150k pps no matter how fast
+the per-packet path gets (``BENCH_pr4.json``) — one Python interpreter
+executes every event.  This package shards a built
+:class:`~repro.lab.network.Network` *by node* into K worker processes,
+each running its own :class:`~repro.sim.scheduler.Scheduler` over its
+own fork-copied replica of the object graph, synchronised with the
+classic conservative (Chandy–Misra–Bryant-style) discipline:
+
+* **lookahead** — every cross-shard link has ``delay_ns > 0`` (the
+  partitioner guarantees it), so a shard granted horizon ``H`` by the
+  coordinator can safely execute everything strictly below ``H``: no
+  neighbour can cause an arrival earlier than its own grant plus the
+  minimum cut delay;
+* **rounds** — the coordinator loops grant → execute → exchange,
+  routing batched timestamped handoffs (mirroring the in-process
+  ``transmit_batch`` path) between shards at each barrier;
+* **determinism** — events are ordered by ``(time_ns, stream, phase,
+  seq)`` keys rather than global creation order, and cross-shard
+  deliveries are re-keyed at the wire from sender-side state
+  (:mod:`repro.sim.link`), so every shard executes exactly the
+  subsequence of the one global order that touches it.  Seeded runs are
+  byte-identical across ``shards=1,2,4`` — deliveries, counters and
+  telemetry export — which ``tests/shard/test_determinism.py`` pins.
+
+Use it through the builder: ``net.run(until_ns=..., shards=4)`` or
+``Network(shards=4)``.  ``shards=1`` is the existing in-process engine,
+untouched.
+"""
+
+from .coord import ShardRunResult, run_sharded
+from .merge import merge_samples, merge_telemetry
+from .partition import ShardingError, partition
+
+__all__ = [
+    "ShardRunResult",
+    "ShardingError",
+    "merge_samples",
+    "merge_telemetry",
+    "partition",
+    "run_sharded",
+]

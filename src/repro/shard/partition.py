@@ -1,0 +1,196 @@
+"""Partition a network's nodes into shards along high-delay links.
+
+The partitioner's one hard invariant: **every cross-shard link has
+``delay_ns > 0``** — link propagation delay is the conservative
+engine's lookahead, and a zero-delay cut would collapse the grant
+horizon to nothing (no shard could ever run ahead of its neighbours).
+
+The heuristic is min-cut-ish rather than optimal (graph partitioning is
+NP-hard; the topologies here are testbeds, not data centres):
+
+1. *contract* every zero-delay link — its endpoints must co-locate;
+2. greedily contract the remaining links cheapest-delay-first, capped
+   at ``ceil(n / shards)`` nodes per component, so cheap links end up
+   inside shards and expensive (high-lookahead) links end up on the
+   cut;
+3. pack components onto shards — pinned components (``node.shard=``)
+   go where they are pinned, the rest largest-first onto the least
+   loaded shard (LPT), which bounds the biggest shard at twice the
+   ideal ``ceil(n / shards)`` when nothing is pinned.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ShardingError(ValueError):
+    """The network cannot be partitioned as requested."""
+
+
+def _direction_min_delay(link) -> int:
+    return min(link.a_to_b.delay_ns, link.b_to_a.delay_ns)
+
+
+def partition(net, shards: int) -> dict[str, int]:
+    """Assign every node name to a shard in ``range(shards)``.
+
+    Explicit pins (``node.shard``) are honoured; unpinned nodes are
+    placed by the contraction heuristic.  Raises :class:`ShardingError`
+    when the request is unsatisfiable — most importantly when honouring
+    the pins would cut a zero-delay link.
+    """
+    names = sorted(net.nodes)
+    n = len(names)
+    if shards < 1:
+        raise ShardingError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return {name: 0 for name in names}
+    if shards > n:
+        raise ShardingError(
+            f"cannot split {n} node(s) into {shards} shards; "
+            f"reduce shards= to at most {n}"
+        )
+
+    index = {name: i for i, name in enumerate(names)}
+    parent = list(range(n))
+    size = [1] * n
+    pin: list[int | None] = [None] * n
+    for name in names:
+        node_pin = net.nodes[name].shard
+        if node_pin is None:
+            continue
+        if not 0 <= int(node_pin) < shards:
+            raise ShardingError(
+                f"node {name!r} pins shard {node_pin}, outside 0..{shards - 1}"
+            )
+        pin[index[name]] = int(node_pin)
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    component_count = n
+
+    def union(i: int, j: int) -> int:
+        nonlocal component_count
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            return ri
+        if size[ri] < size[rj]:
+            ri, rj = rj, ri
+        parent[rj] = ri
+        size[ri] += size[rj]
+        pin[ri] = pin[ri] if pin[ri] is not None else pin[rj]
+        component_count -= 1
+        return ri
+
+    # Deterministic link walk: (delay, endpoint names) ascending.
+    def link_key(entry):
+        delay, link = entry
+        return (delay, link.dev_a.node.name, link.dev_b.node.name, link.dev_a.name)
+
+    links = sorted(
+        ((_direction_min_delay(link), link) for link in net.links), key=link_key
+    )
+
+    # 1. Mandatory contraction: zero-delay links can never be cut.
+    for delay, link in links:
+        if delay > 0:
+            break
+        a, b = index[link.dev_a.node.name], index[link.dev_b.node.name]
+        ra, rb = find(a), find(b)
+        if pin[ra] is not None and pin[rb] is not None and pin[ra] != pin[rb]:
+            raise ShardingError(
+                f"link {link.dev_a.node.name}-{link.dev_b.node.name} has "
+                f"delay_ns=0 but its ends are pinned to shards {pin[ra]} and "
+                f"{pin[rb]}: a zero-delay link provides no lookahead and "
+                f"cannot be cut — co-locate the nodes or give the link a "
+                f"positive delay_ns"
+            )
+        union(a, b)
+
+    # 2. Greedy contraction, cheapest links first, balance-capped.  Stop
+    # once only ``shards`` components remain: contracting further would
+    # leave a shard with nothing to run.
+    cap = math.ceil(n / shards)
+    for delay, link in links:
+        if component_count <= shards:
+            break
+        if delay <= 0:
+            continue
+        ra = find(index[link.dev_a.node.name])
+        rb = find(index[link.dev_b.node.name])
+        if ra == rb:
+            continue
+        if size[ra] + size[rb] > cap:
+            continue
+        if pin[ra] is not None and pin[rb] is not None and pin[ra] != pin[rb]:
+            continue
+        union(ra, rb)
+
+    # 3. Pack components onto shards: pins first, then LPT.
+    components: dict[int, list[str]] = {}
+    for name in names:
+        components.setdefault(find(index[name]), []).append(name)
+    loads = [0] * shards
+    assignment: dict[str, int] = {}
+    ordered = sorted(
+        components.values(), key=lambda members: (-len(members), members[0])
+    )
+    unpinned = []
+    for members in ordered:
+        root_pin = pin[find(index[members[0]])]
+        if root_pin is not None:
+            loads[root_pin] += len(members)
+            for name in members:
+                assignment[name] = root_pin
+        else:
+            unpinned.append(members)
+    for members in unpinned:
+        target = loads.index(min(loads))
+        loads[target] += len(members)
+        for name in members:
+            assignment[name] = target
+    if 0 in loads:
+        empties = [s for s, load in enumerate(loads) if load == 0]
+        raise ShardingError(
+            f"partitioning left shard(s) {empties} empty (the topology only "
+            f"separates into {shards - len(empties)} placeable groups); "
+            f"reduce shards= or adjust node.shard pins"
+        )
+
+    # Defensive re-check of the invariant (reachable only through bugs
+    # above, but the engine's correctness rests on it).
+    for link in net.links:
+        sa = assignment[link.dev_a.node.name]
+        sb = assignment[link.dev_b.node.name]
+        if sa != sb and _direction_min_delay(link) <= 0:
+            raise ShardingError(
+                f"internal error: zero-delay link "
+                f"{link.dev_a.node.name}-{link.dev_b.node.name} was cut"
+            )
+    return assignment
+
+
+def lookahead_matrix(net, assignment: dict[str, int], shards: int) -> list[list[int | None]]:
+    """Per-pair lookahead: ``matrix[src][dst]`` is the minimum delay over
+    links carrying traffic from shard ``src`` to shard ``dst`` (None when
+    no such link exists — those pairs never constrain each other)."""
+    matrix: list[list[int | None]] = [[None] * shards for _ in range(shards)]
+    for link in net.links:
+        sa = assignment[link.dev_a.node.name]
+        sb = assignment[link.dev_b.node.name]
+        if sa == sb:
+            continue
+        for src, dst, delay in (
+            (sa, sb, link.a_to_b.delay_ns),
+            (sb, sa, link.b_to_a.delay_ns),
+        ):
+            current = matrix[src][dst]
+            matrix[src][dst] = delay if current is None else min(current, delay)
+    return matrix

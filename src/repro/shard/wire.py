@@ -1,0 +1,82 @@
+"""Wire format for cross-shard packet handoffs.
+
+A handoff carries whole delivery batches — the serialised twin of the
+in-process ``transmit_batch`` path.  Packets are packed with
+:mod:`struct` (not pickle): the format is explicit about exactly which
+:class:`~repro.net.packet.Packet` fields survive a shard boundary, and
+the bytes are deterministic, which keeps the handoff stream itself
+reproducible.
+
+Per packet: a fixed header (data length, generator bookkeeping, RX
+timestamp, mark, trace count), the raw packet bytes, then the trace's
+node names.  The per-hop routing scratch fields (``input_dev``,
+``nh6``, ``table_id``) are deliberately *not* carried: they are dead
+between hops — ingress restamps ``input_dev`` and the seg6 helpers
+rewrite the rest before they are read.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..net.packet import Packet
+
+_BATCH_HEADER = struct.Struct("<I")
+_PKT_HEADER = struct.Struct("<IqqqqIH")  # len, flow_id, seq, tx, rx, mark, traces
+_NAME_HEADER = struct.Struct("<H")
+
+
+def pack_batch(pkts: list[Packet]) -> bytes:
+    """Serialise a delivery batch to deterministic bytes."""
+    parts = [_BATCH_HEADER.pack(len(pkts))]
+    for pkt in pkts:
+        trace = pkt.trace
+        parts.append(
+            _PKT_HEADER.pack(
+                len(pkt.data),
+                pkt.flow_id,
+                pkt.seq,
+                pkt.tx_tstamp_ns,
+                pkt.rx_tstamp_ns,
+                pkt.mark,
+                len(trace),
+            )
+        )
+        parts.append(bytes(pkt.data))
+        for name in trace:
+            encoded = str(name).encode()
+            parts.append(_NAME_HEADER.pack(len(encoded)))
+            parts.append(encoded)
+    return b"".join(parts)
+
+
+def unpack_batch(blob: bytes) -> list[Packet]:
+    """Reconstruct the packet batch a peer shard exported."""
+    (count,) = _BATCH_HEADER.unpack_from(blob, 0)
+    offset = _BATCH_HEADER.size
+    pkts: list[Packet] = []
+    for _ in range(count):
+        data_len, flow_id, seq, tx, rx, mark, traces = _PKT_HEADER.unpack_from(
+            blob, offset
+        )
+        offset += _PKT_HEADER.size
+        data = blob[offset : offset + data_len]
+        offset += data_len
+        trace = []
+        for _ in range(traces):
+            (name_len,) = _NAME_HEADER.unpack_from(blob, offset)
+            offset += _NAME_HEADER.size
+            trace.append(blob[offset : offset + name_len].decode())
+            offset += name_len
+        pkts.append(
+            Packet(
+                data,
+                flow_id=flow_id,
+                seq=seq,
+                tx_tstamp_ns=tx,
+                rx_tstamp_ns=rx,
+                mark=mark,
+                trace=trace,
+            )
+        )
+    return pkts

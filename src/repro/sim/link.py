@@ -4,11 +4,21 @@ A :class:`Link` joins two :class:`~repro.net.netdev.NetDev` devices.  Each
 direction is an independent :class:`LinkEndpoint` modelling a transmit
 queue drained at the link rate plus a fixed propagation delay — i.e. the
 10 Gb/s and 1 Gb/s NICs of the paper's lab (Figure 1).
+
+Endpoints are also the sharded engine's cut points (:mod:`repro.shard`).
+Every endpoint owns an ordering *stream* and numbers its departures with
+a send counter; the delivery event's key ``(stream, send_seq)`` is
+therefore a pure function of the sender's state.  In a sharded run a
+cross-shard endpoint is put in *export* mode: departures leave the
+worker at send time as ``(arrival_ns, seq, packets)`` handoffs, and the
+receiving shard injects them with :meth:`LinkEndpoint.inject_remote`
+under the same key — landing at exactly the position in the receiver's
+event order that the in-process delivery would have taken.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..net.netdev import NetDev
 from ..net.packet import Packet
@@ -41,12 +51,20 @@ class LinkEndpoint:
         self.queue_limit = queue_limit
         self.stats = LinkStats()
         self.up = True
+        self.stream = scheduler.new_stream()
+        self._last_down_ns = -1  # simulated instant of the last set_down()
+        self._send_seq = 0
         self._free_at_ns = 0
         self._queued = 0
         # In-flight delivery events, keyed by the identity of the batch
         # they carry, so set_down() can cancel them (a failed link loses
         # the photons already on the fibre).
         self._in_flight: dict[int, tuple] = {}
+        # Sharding hooks (None/empty on every in-process run): export is
+        # a callable(arrival_ns, seq, pkts) invoked instead of scheduling
+        # local delivery; _remote_in_flight tracks injected deliveries.
+        self.export = None
+        self._remote_in_flight: dict[int, tuple] = {}
 
     def tx_time_ns(self, size_bytes: int) -> int:
         if self.rate_bps <= 0:
@@ -88,9 +106,21 @@ class LinkEndpoint:
             stats.bytes_sent += len(pkt)
             accepted.append(pkt)
         if accepted:
-            event = self.scheduler.schedule_batch(
-                depart + self.delay_ns, self._deliver_batch, accepted
-            )
+            seq = self._send_seq
+            self._send_seq += 1
+            arrival = depart + self.delay_ns
+            if self.export is None:
+                event = self.scheduler.schedule_batch(
+                    arrival, self._deliver_batch, accepted, key=(self.stream, seq)
+                )
+            else:
+                # Cross-shard proxy: the batch leaves this worker now; a
+                # local drain event under the same key keeps the transmit
+                # queue accounting (and its drop behaviour) byte-identical.
+                self.export(arrival, seq, accepted)
+                event = self.scheduler.schedule_keyed(
+                    arrival, self.stream, seq, self._drain_remote, accepted
+                )
             self._in_flight[id(accepted)] = (event, accepted)
 
     def _deliver_batch(self, pkts: list[Packet]) -> None:
@@ -99,14 +129,56 @@ class LinkEndpoint:
         self.stats.delivered += len(pkts)
         self.peer_dev.process_batch(pkts)
 
+    def _drain_remote(self, pkts: list[Packet]) -> None:
+        # Export-mode twin of _deliver_batch's queue bookkeeping; the
+        # receiving shard owns delivery and its stats.
+        self._in_flight.pop(id(pkts), None)
+        self._queued -= len(pkts)
+
+    def inject_remote(
+        self, sent_ns: int, arrival_ns: int, seq: int, pkts: list[Packet]
+    ) -> None:
+        """Accept a cross-shard handoff on the receiving shard's replica.
+
+        Scheduled under the sender's key, so the delivery executes at the
+        same point in the total order as the in-process run.  In-flight
+        loss is accounted here, on the receiving side: the batch dies if
+        the link is down now, went down at any point since ``sent_ns``
+        (a flap shorter than the propagation delay still loses the
+        photons already on the fibre, exactly as ``set_down()`` models
+        in-process), or goes down before ``arrival_ns`` (the
+        ``_remote_in_flight`` cancellation path).
+        """
+        if not self.up or self._last_down_ns >= sent_ns:
+            self.stats.dropped += len(pkts)
+            return
+        event = self.scheduler.schedule_batch(
+            arrival_ns, self._deliver_remote, pkts, key=(self.stream, seq)
+        )
+        self._remote_in_flight[id(pkts)] = (event, pkts)
+
+    def _deliver_remote(self, pkts: list[Packet]) -> None:
+        self._remote_in_flight.pop(id(pkts), None)
+        self.stats.delivered += len(pkts)
+        self.peer_dev.process_batch(pkts)
+
     def set_down(self) -> None:
         """Administratively down: refuse new sends, lose what is in flight."""
         self.up = False
+        self._last_down_ns = self.scheduler.now_ns
+        exported = self.export is not None
         for event, pkts in self._in_flight.values():
             event.cancel()
             self._queued -= len(pkts)
-            self.stats.dropped += len(pkts)
+            if not exported:
+                # In export mode the receiving shard's replica owns the
+                # in-flight loss accounting (see inject_remote).
+                self.stats.dropped += len(pkts)
         self._in_flight.clear()
+        for event, pkts in self._remote_in_flight.values():
+            event.cancel()
+            self.stats.dropped += len(pkts)
+        self._remote_in_flight.clear()
         # The dropped packets' serialisation reservations die with them:
         # after recovery the first send must not wait out a phantom
         # backlog.

@@ -78,6 +78,10 @@ class UdpFlow:
         self.rng = rng if rng is not None else random.Random(seed)
         self.src_port_spread = max(1, int(src_port_spread))
         self.stats = GeneratorStats()
+        # Hard kill switch: a disabled flow never ticks again, even if a
+        # scripted start(duration_ns=) later resets _stop_ns.  The shard
+        # workers use it to quiesce replica flows owned by other shards.
+        self.enabled = True
         self.flow_id = next(self._flow_ids)
         self._seq = 0
         self._stop_ns: int | None = None
@@ -115,6 +119,8 @@ class UdpFlow:
         return pkt
 
     def _tick(self) -> None:
+        if not self.enabled:
+            return
         now = self.scheduler.now_ns
         if self._stop_ns is not None and now >= self._stop_ns:
             return

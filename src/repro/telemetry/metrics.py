@@ -165,6 +165,35 @@ class MetricsRegistry:
     def __init__(self):
         self._owned: dict[tuple, object] = {}  # (name, labels) -> metric
         self._collectors: list[Callable[[], Iterable[Sample]]] = []
+        # Static samples folded in by merge(): (name, labels) -> Sample.
+        self._static: dict[tuple, Sample] = {}
+
+    # -- merging -------------------------------------------------------------
+    def merge(self, other, extra_labels: dict | None = None) -> "MetricsRegistry":
+        """Fold another registry's snapshot (or an iterable of samples) in.
+
+        Each incoming sample lands as a *static* sample under its
+        ``(name, labels + extra_labels)`` key: counters and histogram
+        samples **sum** with an existing value at the same key, gauges
+        **overwrite**.  The shard coordinator uses this to build the
+        post-run registries — one per-shard view labelled with
+        ``extra_labels={"shard": k}``, and the aggregate view from the
+        ownership-merged sample set — so ``collect()``/``value()``/
+        ``query()`` (and ``repro.cli counters``) read a merged run
+        exactly like a live one.  Returns ``self`` for chaining.
+        """
+        samples = other.collect() if hasattr(other, "collect") else other
+        extra = _label_key(extra_labels or {})
+        for sample in samples:
+            labels = tuple(sorted(sample.labels + extra)) if extra else sample.labels
+            key = (sample.name, labels)
+            existing = self._static.get(key)
+            if existing is not None and sample.kind != "gauge":
+                value = existing.value + sample.value
+            else:
+                value = sample.value
+            self._static[key] = Sample(sample.name, labels, value, sample.kind)
+        return self
 
     # -- owned metrics -------------------------------------------------------
     def _owned_metric(self, cls, name: str, labels: dict, **kwargs):
@@ -209,7 +238,7 @@ class MetricsRegistry:
     # -- reading -------------------------------------------------------------
     def collect(self) -> list[Sample]:
         """Every sample, sorted by (name, labels) — the one read path."""
-        out: list[Sample] = []
+        out: list[Sample] = list(self._static.values())
         for metric in self._owned.values():
             out.extend(metric.samples())
         for collector in self._collectors:

@@ -1,0 +1,136 @@
+"""Partitioner invariants: balance, positive-delay cuts, pins, errors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lab import Network
+from repro.shard import ShardingError, partition
+from repro.shard.partition import lookahead_matrix
+
+
+def chain(n: int, delay_ns: int = 1_000_000) -> Network:
+    net = Network(seed=1)
+    names = [f"N{i}" for i in range(n)]
+    for name in names:
+        net.add_node(name)
+    for left, right in zip(names, names[1:]):
+        net.add_link(left, right, delay_ns=delay_ns)
+    return net
+
+
+def shard_sizes(assignment: dict, shards: int) -> list[int]:
+    sizes = [0] * shards
+    for shard in assignment.values():
+        sizes[shard] += 1
+    return sizes
+
+
+def cut_delays(net: Network, assignment: dict) -> list[int]:
+    out = []
+    for link in net.links:
+        if assignment[link.dev_a.node.name] != assignment[link.dev_b.node.name]:
+            out.append(min(link.a_to_b.delay_ns, link.b_to_a.delay_ns))
+    return out
+
+
+@pytest.mark.parametrize("n,shards", [(8, 2), (9, 3), (10, 4), (5, 5)])
+def test_balance_bound_and_coverage(n, shards):
+    net = chain(n)
+    assignment = partition(net, shards)
+    assert sorted(assignment) == sorted(net.nodes)
+    sizes = shard_sizes(assignment, shards)
+    assert all(size >= 1 for size in sizes), sizes
+    # LPT packing of cap-bounded components: no shard exceeds twice the
+    # ideal share when nothing is pinned.
+    assert max(sizes) <= 2 * math.ceil(n / shards), sizes
+
+
+def test_every_cut_has_positive_delay():
+    net = chain(6)
+    assignment = partition(net, 3)
+    delays = cut_delays(net, assignment)
+    assert delays, "a 3-way split of a chain must cut something"
+    assert all(delay > 0 for delay in delays)
+
+
+def test_zero_delay_links_colocate():
+    net = Network(seed=1)
+    for name in ("A", "B", "C", "D"):
+        net.add_node(name)
+    net.add_link("A", "B", delay_ns=0)  # must never be cut
+    net.add_link("B", "C", delay_ns=1_000_000)
+    net.add_link("C", "D", delay_ns=0)  # must never be cut
+    assignment = partition(net, 2)
+    assert assignment["A"] == assignment["B"]
+    assert assignment["C"] == assignment["D"]
+    assert assignment["A"] != assignment["C"]
+
+
+def test_explicit_pins_respected():
+    net = chain(4)
+    net["N0"].shard = 1
+    net["N3"].shard = 0
+    assignment = partition(net, 2)
+    assert assignment["N0"] == 1
+    assert assignment["N3"] == 0
+
+
+def test_builder_shard_kwarg_pins():
+    net = Network(seed=1)
+    net.add_node("A", shard=1)
+    net.add_node("B")
+    net.add_link("A", "B", delay_ns=1_000_000)
+    assert net["A"].shard == 1
+    assert partition(net, 2)["A"] == 1
+
+
+def test_zero_delay_pin_conflict_is_helpful():
+    net = Network(seed=1)
+    net.add_node("A", shard=0)
+    net.add_node("B", shard=1)
+    net.add_link("A", "B", delay_ns=0)
+    with pytest.raises(ShardingError, match="delay_ns=0") as excinfo:
+        partition(net, 2)
+    message = str(excinfo.value)
+    assert "cannot be cut" in message
+    assert "lookahead" in message
+
+
+def test_too_many_shards_rejected():
+    net = chain(3)
+    with pytest.raises(ShardingError, match="reduce shards="):
+        partition(net, 4)
+
+
+def test_pin_out_of_range_rejected():
+    net = chain(2)
+    net["N0"].shard = 5
+    with pytest.raises(ShardingError, match="outside"):
+        partition(net, 2)
+
+
+def test_unsplittable_topology_reports_empty_shard():
+    net = Network(seed=1)
+    for name in ("A", "B", "C"):
+        net.add_node(name)
+    net.add_link("A", "B", delay_ns=0)
+    net.add_link("B", "C", delay_ns=0)
+    with pytest.raises(ShardingError, match="empty"):
+        partition(net, 2)
+
+
+def test_lookahead_matrix_minimum_per_direction():
+    net = Network(seed=1)
+    net.add_node("A", shard=0)
+    net.add_node("B", shard=1)
+    net.add_node("C", shard=1)
+    net.add_link("A", "B", delay_ns=5_000)
+    net.add_link("A", "C", delay_ns=3_000)
+    assignment = partition(net, 2)
+    matrix = lookahead_matrix(net, assignment, 2)
+    assert matrix[0][1] == 3_000  # the tighter of the two cut links
+    assert matrix[1][0] == 3_000
+    assert matrix[0][0] is None and matrix[1][1] is None
