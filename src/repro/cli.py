@@ -25,6 +25,7 @@ Commands
 ``bpf <node>``                        attached eBPF programs + verdicts
 ``events [-f] [-n N]``                control-bus log (``-f`` = follow)
 ``sample``                            one out-of-band telemetry snapshot
+``trace on|top|show|follow``          causal packet traces (``net.trace``)
 ``fail <a> <b> [dev]`` / ``recover``  link failure / repair
 ``run <ms>``                          advance the simulation
 ``help`` / ``exit``
@@ -132,6 +133,10 @@ class NetCli:
             "bpf <node>                 attached eBPF programs and verdicts",
             "events [-f] [-n N]        control-bus events (-f follows during run)",
             "sample                     emit one telemetry snapshot now",
+            "trace on [N]               arm tracing (head-sample 1-in-N flows)",
+            "trace top [n]              slowest delivered packets, attributed",
+            "trace show <flow:seq>      full span timeline of one trace",
+            "trace follow <flow>        every trace of one flow, in order",
             "fail <a> <b> [dev]         take the a-b link down",
             "recover <a> <b> [dev]      bring the a-b link back up",
             "run <ms>                   advance the simulation by <ms> ms",
@@ -262,6 +267,67 @@ class NetCli:
             self._print("(telemetry session started, interval 10 ms)")
         session.sample()
         self._print(session.sink.tail(1)[0])
+
+    def _tracer(self):
+        tracer = self.net._tracer
+        if tracer is None:
+            raise CliError("tracing is not armed (trace on [N], before traffic starts)")
+        return tracer
+
+    @staticmethod
+    def _fmt_attribution(attribution: dict) -> str:
+        parts = [f"{cat}={ns}" for cat, ns in sorted(attribution.items()) if ns]
+        return " ".join(parts) or "-"
+
+    def _print_record(self, rec: dict) -> None:
+        self._print(
+            f"{rec['id']:<12} {rec['src']}->{rec['dst']} "
+            f"delay={rec['delay_ns']}ns  {self._fmt_attribution(rec['attribution'])}"
+        )
+
+    def cmd_trace(self, args) -> None:
+        if not args:
+            raise CliError("usage: trace on [N] | top [n] | show <flow:seq> | follow <flow>")
+        sub, rest = args[0], args[1:]
+        if sub == "on":
+            if self.net._tracer is not None:
+                self._print("(tracing already armed)")
+                return
+            sample = int(rest[0]) if rest else 1
+            self.net.trace(sample=sample)
+            self._print(f"(tracing armed, 1-in-{sample} flows)")
+            return
+        tracer = self._tracer()
+        if sub == "top":
+            n = int(rest[0]) if rest else 10
+            records = tracer.top(n)
+            if not records:
+                self._print("(no traces recorded yet)")
+            for rec in records:
+                self._print_record(rec)
+        elif sub == "show":
+            if not rest:
+                raise CliError("usage: trace show <flow:seq>")
+            rec = tracer.find(rest[0])
+            if rec is None:
+                raise CliError(f"no trace {rest[0]!r}")
+            self._print_record(rec)
+            for start, end, category, where, detail in rec["spans"]:
+                dur = f"+{end - start}ns" if end > start else "instant"
+                tag = f" ({detail})" if detail else ""
+                self._print(f"  {start:>12} {category:<16} {where:<8} {dur}{tag}")
+            for time_ns, node, kind in tracer.events_for(rec):
+                self._print(f"  {time_ns:>12} bus:{kind:<16} {node}")
+        elif sub == "follow":
+            if not rest:
+                raise CliError("usage: trace follow <flow>")
+            records = tracer.follow(int(rest[0]))
+            if not records:
+                self._print(f"(no traces for flow {rest[0]})")
+            for rec in records:
+                self._print_record(rec)
+        else:
+            raise CliError("usage: trace on [N] | top [n] | show <flow:seq> | follow <flow>")
 
     def _link_args(self, args, usage: str):
         if len(args) < 2:

@@ -99,6 +99,8 @@ class Network:
         self._telemetry = None  # repro.telemetry.TelemetrySession
         self._meter_nodes: list[str] = []  # sink() owners, for repro.shard
         self._sharded = False  # a sharded run is terminal for the network
+        self._tracer = None  # repro.trace.Tracer, created by trace()
+        self._pcaps: list = []  # live captures opened by pcap()
 
     # -- seed derivation -------------------------------------------------------
     def derive_seed(self, *key) -> int | None:
@@ -177,6 +179,9 @@ class Network:
             node.add_address(one)
         if cpu is not None:
             node.cpu = CpuQueue(self.scheduler, cpu, node, queue_limit=cpu_queue_limit)
+        if self._tracer is not None:
+            # A tracer is armed: late-added nodes finalise traces too.
+            node.tracer = self._tracer
         return node
 
     def _next_dev_name(self, node: Node) -> str:
@@ -444,6 +449,8 @@ class Network:
                 self.scheduler, source, src, dst, rate_bps, payload_size, **kwargs
             )
         self.flows.append(flow)
+        if self._tracer is not None and self._tracer.admits_flow(flow.flow_id):
+            flow.tracer = self._tracer
         return flow
 
     def sink(
@@ -540,6 +547,83 @@ class Network:
             self, self.metrics, interval_ns, sink=sink, rings=rings
         )
         return self._telemetry
+
+    def trace(
+        self,
+        sample: int = 1,
+        flows: Iterable = (),
+        *,
+        profile: bool = False,
+    ):
+        """Arm causal packet tracing (:class:`repro.trace.Tracer`).
+
+        ``sample=N`` admits roughly one flow in N by a deterministic
+        seed-derived hash (``1`` traces every flow, ``0`` none);
+        ``flows=`` lists flows (or flow ids) traced regardless.  Every
+        packet of an admitted flow carries a trace context through the
+        whole datapath — emit, qdisc, link, CPU, each pipeline stage and
+        eBPF hook — and finalises at local delivery into a record whose
+        span durations sum exactly to the measured end-to-end delay.
+        Works unchanged under ``run(shards=K)``: contexts travel in the
+        handoff codec and the merged export is byte-identical to the
+        unsharded run.  ``profile=True`` also attaches a
+        :class:`repro.trace.SelfProfiler` (as ``tracer.profiler``)
+        attributing host wall-clock per event-callback category.
+        One tracer per network; arm it before :meth:`run`.
+        """
+        from ..trace import SelfProfiler, Tracer
+
+        if self._tracer is not None:
+            raise RuntimeError("this network already has a tracer")
+        tracer = Tracer(net=self, sample=sample, seed=self.seed or 0)
+        for flow in flows:
+            tracer.always.add(flow if isinstance(flow, int) else flow.flow_id)
+        self._tracer = tracer
+        for node in self.nodes.values():
+            node.tracer = tracer
+        for flow in self.flows:
+            if tracer.admits_flow(flow.flow_id):
+                flow.tracer = tracer
+        if profile:
+            tracer.profiler = SelfProfiler(self.scheduler).start()
+        return tracer
+
+    def pcap(
+        self,
+        node: "Node | str",
+        dev: str | None = None,
+        *,
+        direction: str = "tx",
+        path: "str | Path | None" = None,
+    ):
+        """Capture a device's traffic to a pcap file (``tcpdump -i``).
+
+        Wraps :func:`repro.sim.pcap.tap_device` on the node's device
+        (``dev=None`` picks the node's only device), stamping every
+        captured packet with the scheduler clock, and returns a
+        :class:`~repro.sim.pcap.PcapCapture` whose ``trace_ids`` lists
+        ``(timestamp_ns, trace_id)`` for captured packets that carry an
+        active trace context — the join key between the pcap view and
+        ``net.trace()`` records.  Call ``capture.close()`` (or rely on
+        interpreter exit) to flush the file.
+        """
+        from ..sim.pcap import PcapCapture, PcapWriter, tap_device
+
+        target = self.node(node)
+        if dev is None:
+            if len(target.devices) != 1:
+                raise ValueError(
+                    f"{target.name} has {len(target.devices)} devices; pass dev="
+                )
+            dev = next(iter(target.devices))
+        if dev not in target.devices:
+            raise KeyError(f"{target.name}: no device {dev!r}")
+        if path is None:
+            path = f"{target.name}-{dev}.pcap"
+        capture = PcapCapture(PcapWriter(path), path)
+        tap_device(target.devices[dev], capture.writer, direction, index=capture.index)
+        self._pcaps.append(capture)
+        return capture
 
     def on(self, at_ns: int, fn, *args):
         """Run ``fn(*args)`` at simulated time ``at_ns`` (scripted events).

@@ -78,6 +78,10 @@ class BpfLwt:
         if program is None:
             return _FORWARD
         self.hook_runs[hook] = self.hook_runs.get(hook, 0) + 1
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = node.clock_ns()
+            tctx.append((t, t, "ebpf", node.name, f"{hook}/{program.name}"))
 
         hctx = self._handler_for(hook, program).arm(
             pkt.data, clock_ns=node.clock_ns, rng=node.rng, mark=pkt.mark

@@ -185,6 +185,7 @@ class Node:
         self.counters = NodeCounters()
         self.cpu = None  # optional repro.sim.cpu.CpuQueue for DES experiments
         self.shard = None  # explicit shard pin honoured by repro.shard.partition
+        self.tracer = None  # repro.trace.Tracer; finalises traces at delivery
         self.log_messages: list[str] = []
         self.answer_echo = True
         self.flow_table = FlowTable()  # route-resolution memo
@@ -313,13 +314,19 @@ class Node:
             for pkt in pkts:
                 rx_bytes += len(pkt)
                 pkt.input_dev = name
-                pkt.rx_tstamp_ns = clock()
+                t = clock()
+                pkt.rx_tstamp_ns = t
+                if pkt.tctx is not None:
+                    pkt.tctx.append((t, t, "rx", self.name, name))
             stats = dev.stats
             stats.rx_packets += len(pkts)
             stats.rx_bytes += rx_bytes
         else:
             for pkt in pkts:
-                pkt.rx_tstamp_ns = clock()
+                t = clock()
+                pkt.rx_tstamp_ns = t
+                if pkt.tctx is not None:
+                    pkt.tctx.append((t, t, "rx", self.name, ""))
         counters.rx += len(pkts)
         if self.cpu is not None:
             self.cpu.submit_batch(pkts, lambda batch: self._input_batch(batch, dev))
@@ -425,6 +432,13 @@ class Node:
         while i < end:
             pkt = pkts[i]
             processed += 1
+            tctx = pkt.tctx
+            if tctx is not None:
+                # Mirror the scalar path's instants so a traced packet's
+                # span stream is identical whichever path dispatched it.
+                t = self.clock_ns()
+                tctx.append((t, t, "stage:lookup", name, ""))
+                tctx.append((t, t, "stage:seg6local", name, encap.kind))
             disposition = process_resident(pkt, self, handler)
             i += 1
             if disposition is _FORWARD:
@@ -434,6 +448,9 @@ class Node:
                 # and transmit stages.
                 route2 = lookup(MAIN_TABLE, pkt.dst)
                 if route2 is not None and route2.encap is None and not route2.local:
+                    if tctx is not None:
+                        t = self.clock_ns()
+                        tctx.append((t, t, "stage:lookup", name, ""))
                     if pkt.decrement_hop_limit() == 0:
                         counters.hop_limit_exceeded += 1
                         self._send_time_exceeded(pkt)
@@ -449,6 +466,9 @@ class Node:
                             counters.dropped += 1
                         else:
                             pkt.trace.append(name)
+                            if tctx is not None:
+                                t = self.clock_ns()
+                                tctx.append((t, t, "stage:transmit", name, nexthop.dev))
                             counters.tx += 1
                             out = egress.get(nexthop.dev)
                             if out is None:
@@ -539,6 +559,10 @@ class Node:
                     counters.dropped += 1
                     return
             ctx.route = route
+            tctx = pkt.tctx
+            if tctx is not None:
+                t = self.clock_ns()
+                tctx.append((t, t, "stage:lookup", self.name, ""))
             if route.encap is None and not route.local:
                 # Plain forward — the dominant iteration.  Only the
                 # decrement and transmit stages apply, so call them
@@ -571,6 +595,10 @@ class Node:
         encap = ctx.route.encap
         if not isinstance(encap, Seg6LocalAction):
             return _NEXT
+        tctx = ctx.pkt.tctx
+        if tctx is not None:
+            t = self.clock_ns()
+            tctx.append((t, t, "stage:seg6local", self.name, encap.kind))
         self.counters.seg6local_processed += 1
         encap.processed += 1
         disposition = encap.process(ctx.pkt, self)
@@ -592,6 +620,10 @@ class Node:
             or ctx.decremented
         ):
             return _NEXT
+        tctx = ctx.pkt.tctx
+        if tctx is not None:
+            t = self.clock_ns()
+            tctx.append((t, t, "stage:lwt_in", self.name, ""))
         disposition = encap.run_hook("lwt_in", ctx.pkt, self)
         outcome = self._apply_disposition(disposition, ctx.pkt)
         if outcome is None:
@@ -630,6 +662,10 @@ class Node:
         if not isinstance(encap, Seg6Encap):
             return _NEXT
         pkt = ctx.pkt
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = self.clock_ns()
+            tctx.append((t, t, "stage:encap", self.name, ""))
         pkt.data = bytearray(encap.apply(bytes(pkt.data), self.primary_address()))
         ctx.table_id = ctx.nh6 = None
         return _RECIRC
@@ -640,6 +676,10 @@ class Node:
         if not isinstance(encap, BpfLwt) or not encap.has_output_stage():
             return _NEXT
         pkt = ctx.pkt
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = self.clock_ns()
+            tctx.append((t, t, "stage:lwt_out", self.name, ""))
         old_dst = pkt.dst
         for hook in ("lwt_out", "lwt_xmit"):
             disposition = encap.run_hook(hook, pkt, self)
@@ -665,6 +705,10 @@ class Node:
             self.counters.dropped += 1
             return _CONSUMED
         pkt.trace.append(self.name)
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = self.clock_ns()
+            tctx.append((t, t, "stage:transmit", self.name, nexthop.dev))
         self.counters.tx += 1
         batch = self._egress_batch
         out = batch.get(nexthop.dev)
@@ -688,6 +732,8 @@ class Node:
 
     # -- local delivery -------------------------------------------------------------
     def _deliver_local(self, pkt: Packet) -> None:
+        if pkt.tctx is not None and self.tracer is not None:
+            self.tracer.finish(pkt, self)
         self.counters.delivered_local += 1
         l4 = pkt.l4()
         if l4 is None:

@@ -37,7 +37,11 @@ class Packet:
     * ``nh6`` / ``table_id`` — routing decision installed by the seg6
       action helper, honoured on ``BPF_REDIRECT``;
     * ``flow_id`` / ``seq`` / ``tx_tstamp_ns`` — generator bookkeeping;
-    * ``trace`` — list of node names the packet traversed (debugging).
+    * ``trace`` — list of node names the packet traversed (debugging);
+    * ``tctx`` — tracing context: ``None`` when untraced (the common
+      case — hot paths test this with one slot load), else the span
+      list a :class:`repro.trace.Tracer` started (rides the packet
+      across hops and shard handoffs).
     """
 
     __slots__ = (
@@ -51,6 +55,7 @@ class Packet:
         "seq",
         "tx_tstamp_ns",
         "trace",
+        "tctx",
     )
 
     def __init__(self, data: bytes | bytearray, **kwargs):
@@ -64,6 +69,7 @@ class Packet:
         self.seq = kwargs.pop("seq", 0)
         self.tx_tstamp_ns = kwargs.pop("tx_tstamp_ns", 0)
         self.trace = kwargs.pop("trace", [])
+        self.tctx = kwargs.pop("tctx", None)
         if kwargs:
             raise TypeError(f"unexpected Packet fields: {sorted(kwargs)}")
 
@@ -80,6 +86,9 @@ class Packet:
         clone.seq = self.seq
         clone.tx_tstamp_ns = self.tx_tstamp_ns
         clone.trace = list(self.trace)
+        # A clone (ICMP error, DM relay, ...) is a new logical packet:
+        # it never inherits the original's trace context.
+        clone.tctx = None
         return clone
 
     # -- parsing ----------------------------------------------------------

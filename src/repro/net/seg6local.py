@@ -366,6 +366,10 @@ class EndBPF(Seg6LocalAction):
         new_sl, new_active = verdict
         pkt.data[IPV6_HEADER_LEN + 3] = new_sl
         pkt.data[24:40] = new_active
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = node.clock_ns()
+            tctx.append((t, t, "ebpf", node.name, f"seg6local/{self.program.name}"))
 
         handler = self._handler
         if (
@@ -426,6 +430,10 @@ class EndBPF(Seg6LocalAction):
         new_sl, new_active = verdict
         data[IPV6_HEADER_LEN + 3] = new_sl
         data[24:40] = new_active
+        tctx = pkt.tctx
+        if tctx is not None:
+            t = node.clock_ns()
+            tctx.append((t, t, "ebpf", node.name, f"seg6local/{self.program.name}"))
 
         program = self.program
         if handler.group_armed:

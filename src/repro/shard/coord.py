@@ -34,7 +34,7 @@ from dataclasses import asdict
 
 from ..lab.network import RunResult
 from ..telemetry.metrics import MetricsRegistry
-from .merge import classify_samples, merge_samples, merge_telemetry
+from .merge import classify_samples, merge_samples, merge_telemetry, merge_trace_records
 from .partition import ShardingError, lookahead_matrix, partition
 from .worker import worker_main
 
@@ -257,6 +257,11 @@ def _merge_into_parent(net, assignment, baseline, baseline_dict, base_links, sta
                     + dst_stats["dropped"]
                     - base_links[idx][direction]["dropped"]
                 )
+
+    tracer = getattr(net, "_tracer", None)
+    if tracer is not None:
+        tracer.records = merge_trace_records(st.get("trace") for st in states)
+        tracer.started = sum(st.get("trace_started", 0) for st in states)
 
     if net._ctrl is not None:
         from ..ctrl.events import CtrlEvent

@@ -152,3 +152,16 @@ def _merge_tick_samples(samples, baseline, kinds, owner) -> str:
         },
     }
     return encode(merged)
+
+
+def merge_trace_records(per_shard_records) -> list:
+    """Stitch per-shard trace records into the canonical export order.
+
+    Every trace finalises on exactly one worker (the shard owning the
+    delivering node), so the merge is a concatenation re-sorted by the
+    same ``(t1, flow, seq)`` key :meth:`repro.trace.Tracer.sorted_records`
+    uses — the merged stream is byte-identical to an in-process run's.
+    """
+    records = [rec for records in per_shard_records for rec in (records or [])]
+    records.sort(key=lambda r: (r["t1"], r["flow"], r["seq"]))
+    return records

@@ -8,11 +8,14 @@ the bytes are deterministic, which keeps the handoff stream itself
 reproducible.
 
 Per packet: a fixed header (data length, generator bookkeeping, RX
-timestamp, mark, trace count), the raw packet bytes, then the trace's
-node names.  The per-hop routing scratch fields (``input_dev``,
-``nh6``, ``table_id``) are deliberately *not* carried: they are dead
-between hops — ingress restamps ``input_dev`` and the seg6 helpers
-rewrite the rest before they are read.
+timestamp, mark, trace count, span count), the raw packet bytes, the
+trace's node names, then the tracing context's spans (``tctx`` — the
+sender's side of the link already appended its queue/serialise/propagate
+spans before export, so a trace crosses the cut without losing time).
+The per-hop routing scratch fields (``input_dev``, ``nh6``,
+``table_id``) are deliberately *not* carried: they are dead between
+hops — ingress restamps ``input_dev`` and the seg6 helpers rewrite the
+rest before they are read.
 """
 
 from __future__ import annotations
@@ -22,8 +25,10 @@ import struct
 from ..net.packet import Packet
 
 _BATCH_HEADER = struct.Struct("<I")
-_PKT_HEADER = struct.Struct("<IqqqqIH")  # len, flow_id, seq, tx, rx, mark, traces
+# len, flow_id, seq, tx, rx, mark, traces, spans
+_PKT_HEADER = struct.Struct("<IqqqqIHH")
 _NAME_HEADER = struct.Struct("<H")
+_SPAN_HEADER = struct.Struct("<qq")  # start_ns, end_ns
 
 
 def pack_batch(pkts: list[Packet]) -> bytes:
@@ -31,6 +36,7 @@ def pack_batch(pkts: list[Packet]) -> bytes:
     parts = [_BATCH_HEADER.pack(len(pkts))]
     for pkt in pkts:
         trace = pkt.trace
+        tctx = pkt.tctx
         parts.append(
             _PKT_HEADER.pack(
                 len(pkt.data),
@@ -40,6 +46,7 @@ def pack_batch(pkts: list[Packet]) -> bytes:
                 pkt.rx_tstamp_ns,
                 pkt.mark,
                 len(trace),
+                len(tctx) if tctx is not None else 0,
             )
         )
         parts.append(bytes(pkt.data))
@@ -47,6 +54,13 @@ def pack_batch(pkts: list[Packet]) -> bytes:
             encoded = str(name).encode()
             parts.append(_NAME_HEADER.pack(len(encoded)))
             parts.append(encoded)
+        if tctx is not None:
+            for start, end, category, where, detail in tctx:
+                parts.append(_SPAN_HEADER.pack(start, end))
+                for text in (category, where, detail):
+                    encoded = text.encode()
+                    parts.append(_NAME_HEADER.pack(len(encoded)))
+                    parts.append(encoded)
     return b"".join(parts)
 
 
@@ -56,7 +70,7 @@ def unpack_batch(blob: bytes) -> list[Packet]:
     offset = _BATCH_HEADER.size
     pkts: list[Packet] = []
     for _ in range(count):
-        data_len, flow_id, seq, tx, rx, mark, traces = _PKT_HEADER.unpack_from(
+        data_len, flow_id, seq, tx, rx, mark, traces, spans = _PKT_HEADER.unpack_from(
             blob, offset
         )
         offset += _PKT_HEADER.size
@@ -68,6 +82,19 @@ def unpack_batch(blob: bytes) -> list[Packet]:
             offset += _NAME_HEADER.size
             trace.append(blob[offset : offset + name_len].decode())
             offset += name_len
+        tctx = None
+        if spans:
+            tctx = []
+            for _ in range(spans):
+                start, end = _SPAN_HEADER.unpack_from(blob, offset)
+                offset += _SPAN_HEADER.size
+                texts = []
+                for _ in range(3):
+                    (text_len,) = _NAME_HEADER.unpack_from(blob, offset)
+                    offset += _NAME_HEADER.size
+                    texts.append(blob[offset : offset + text_len].decode())
+                    offset += text_len
+                tctx.append((start, end, texts[0], texts[1], texts[2]))
         pkts.append(
             Packet(
                 data,
@@ -77,6 +104,7 @@ def unpack_batch(blob: bytes) -> list[Packet]:
                 rx_tstamp_ns=rx,
                 mark=mark,
                 trace=trace,
+                tctx=tctx,
             )
         )
     return pkts

@@ -164,7 +164,15 @@ def dump_state(net, assignment: dict, shard_id: int, executed: int, busy_s: floa
         "telemetry": None,
         "ticks": 0,
         "pending": [],
+        "trace": None,
+        "trace_started": 0,
     }
+    tracer = getattr(net, "_tracer", None)
+    if tracer is not None:
+        # Each trace finalises exactly once, on the shard that owns the
+        # delivering node; the coordinator concatenates and re-sorts.
+        state["trace"] = list(tracer.records)
+        state["trace_started"] = tracer.started
     for name in sorted(local):
         node = net.nodes[name]
         state["nodes"][name] = asdict(node.counters)
@@ -180,6 +188,7 @@ def dump_state(net, assignment: dict, shard_id: int, executed: int, busy_s: floa
         if idx < len(meter_nodes) and meter_nodes[idx] in local:
             fields = {f: getattr(meter, f) for f in _METER_FIELDS}
             fields["delays_ns"] = list(meter.delays_ns)
+            fields["delay_exemplars"] = list(meter.delay_exemplars)
             state["meters"][idx] = fields
     for idx, flow in enumerate(net.flows):
         if flow.node.name in local:

@@ -95,6 +95,7 @@ class CpuQueue:
         """
         now = self.scheduler.now_ns
         accepted: list[Packet] = []
+        traced = None
         done = self._free_at_ns
         for pkt in pkts:
             if self._queued >= self.queue_limit:
@@ -107,7 +108,25 @@ class CpuQueue:
             self._queued += 1
             self.stats.busy_ns += cost
             accepted.append(pkt)
+            if pkt.tctx is not None:
+                if traced is None:
+                    traced = []
+                traced.append((pkt, start, done))
         if accepted:
+            if traced is not None:
+                # Waiting for earlier packets and for the batch to
+                # complete is queueing; only the packet's own modelled
+                # cost is CPU time.
+                batch_done = done
+                where = self.node.name
+                for pkt, p_start, p_done in traced:
+                    tctx = pkt.tctx
+                    if p_start > now:
+                        tctx.append((now, p_start, "queue", where, "cpu"))
+                    if p_done > p_start:
+                        tctx.append((p_start, p_done, "cpu", where, ""))
+                    if batch_done > p_done:
+                        tctx.append((p_done, batch_done, "queue", where, "cpu-coalesce"))
             self.scheduler.schedule_batch(done, self._complete_batch, accepted, process)
 
     def _complete_batch(

@@ -93,6 +93,7 @@ class LinkEndpoint:
             stats.dropped += len(pkts)
             return
         accepted: list[Packet] = []
+        traced = None
         depart = self._free_at_ns
         for pkt in pkts:
             if self.queue_limit is not None and self._queued >= self.queue_limit:
@@ -105,10 +106,32 @@ class LinkEndpoint:
             stats.sent += 1
             stats.bytes_sent += len(pkt)
             accepted.append(pkt)
+            if pkt.tctx is not None:
+                if traced is None:
+                    traced = []
+                traced.append((pkt, start, depart))
         if accepted:
             seq = self._send_seq
             self._send_seq += 1
             arrival = depart + self.delay_ns
+            if traced is not None:
+                # Spans are appended before the export branch so they
+                # travel inside the shard handoff codec with the packet.
+                # The wait from a packet's own departure to the batch's
+                # (delivery coalescing) is queueing, not propagation.
+                last_depart = depart
+                where = str(self.peer_dev)
+                delay = self.delay_ns
+                for pkt, p_start, p_depart in traced:
+                    tctx = pkt.tctx
+                    if p_start > now:
+                        tctx.append((now, p_start, "queue", where, ""))
+                    if p_depart > p_start:
+                        tctx.append((p_start, p_depart, "serialize", where, ""))
+                    if last_depart > p_depart:
+                        tctx.append((p_depart, last_depart, "queue", where, "coalesce"))
+                    if delay:
+                        tctx.append((last_depart, arrival, "propagate", where, ""))
             if self.export is None:
                 event = self.scheduler.schedule_batch(
                     arrival, self._deliver_batch, accepted, key=(self.stream, seq)

@@ -95,11 +95,20 @@ class NetemQdisc:
             depart = start + int(len(pkt) * 8 * NS_PER_SEC / self.rate_bps)
             self._free_at_ns = depart
         else:
-            depart = now
+            start = depart = now
         deliver_at = depart + self._hold_time_ns()
         if self.ordered:
             deliver_at = max(deliver_at, self._last_delivery_ns)
             self._last_delivery_ns = deliver_at
+        tctx = pkt.tctx
+        if tctx is not None:
+            where = dev.node.name if dev.node is not None else dev.name
+            if start > now:
+                tctx.append((now, start, "queue", where, dev.name))
+            if depart > start:
+                tctx.append((start, depart, "serialize", where, dev.name))
+            if deliver_at > depart:
+                tctx.append((depart, deliver_at, "propagate", where, "netem"))
         seq = self._seq
         self._seq += 1
         self._queued += 1

@@ -69,11 +69,42 @@ class PcapWriter:
         self.close()
 
 
-def tap_device(dev: NetDev, writer: PcapWriter, direction: str = "tx") -> None:
+class PcapCapture:
+    """A live capture handle: the writer plus a trace-correlation index.
+
+    ``trace_ids`` lists ``(timestamp_ns, trace_id)`` for every captured
+    packet that carried an active tracing context — the join key between
+    the pcap view and ``net.trace()`` records.  Created by
+    :meth:`repro.lab.network.Network.pcap`.
+    """
+
+    def __init__(self, writer: PcapWriter, path: str | Path):
+        self.writer = writer
+        self.path = Path(path)
+        self.trace_ids: list[tuple[int, str]] = []
+
+    def index(self, pkt: Packet, timestamp_ns: int) -> None:
+        if pkt.tctx is not None:
+            self.trace_ids.append((timestamp_ns, f"{pkt.flow_id}:{pkt.seq}"))
+
+    @property
+    def packets_written(self) -> int:
+        return self.writer.packets_written
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+def tap_device(
+    dev: NetDev, writer: PcapWriter, direction: str = "tx", index=None
+) -> None:
     """Mirror a device's traffic into ``writer`` (``tx``, ``rx`` or ``both``).
 
     Installed by wrapping the device's emit/receive path, like an
-    ``AF_PACKET`` tap; the datapath behaviour is unchanged.
+    ``AF_PACKET`` tap; the datapath behaviour is unchanged.  Packets are
+    stamped with the owning node's scheduler clock.  ``index`` is an
+    optional callable invoked as ``index(pkt, timestamp_ns)`` per
+    captured packet (see :class:`PcapCapture`).
     """
     if direction not in ("tx", "rx", "both"):
         raise ValueError("direction must be tx, rx or both")
@@ -85,6 +116,8 @@ def tap_device(dev: NetDev, writer: PcapWriter, direction: str = "tx") -> None:
             now = dev.node.clock_ns() if dev.node is not None else 0
             for pkt in pkts:
                 writer.write_packet(pkt, timestamp_ns=now)
+                if index is not None:
+                    index(pkt, now)
             original_emit(pkts)
 
         dev._emit_batch = tapped_emit
@@ -96,6 +129,8 @@ def tap_device(dev: NetDev, writer: PcapWriter, direction: str = "tx") -> None:
             now = dev.node.clock_ns() if dev.node is not None else 0
             for pkt in pkts:
                 writer.write_packet(pkt, timestamp_ns=now)
+                if index is not None:
+                    index(pkt, now)
             original_receive(pkts)
 
         dev.process_batch = tapped_receive

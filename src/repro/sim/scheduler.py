@@ -238,6 +238,9 @@ class Scheduler:
 
     # -- execution -------------------------------------------------------------
     def _execute(self, event: Event) -> None:
+        # The self-profiler (repro.trace.SelfProfiler) shadows this method
+        # with an instance attribute while armed; keep the clock/stream
+        # updates here in sync with that wrapper if they ever change.
         self.now_ns = event.time_ns
         self._stream = event.stream
         event.callback(*event.args)

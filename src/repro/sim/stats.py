@@ -22,6 +22,12 @@ class FlowMeter:
     stream.  ``delay_count``/``delay_sum_ns`` keep exact running totals,
     so the mean never degrades to an estimate.  The reservoir RNG is
     seeded from the meter name, keeping seeded runs reproducible.
+
+    When a sampled packet carries an active tracing context
+    (``net.trace()``), its trace id is kept in ``delay_exemplars`` in
+    lockstep with ``delays_ns`` (same index, ``None`` for untraced
+    observations) — a slow reservoir entry links to the concrete trace
+    explaining where the time went.
     """
 
     name: str = "flow"
@@ -35,6 +41,7 @@ class FlowMeter:
     max_samples: int = DEFAULT_DELAY_SAMPLES
     _last_seq: int = field(default=-1, repr=False)
     delays_ns: list = field(default_factory=list, repr=False)
+    delay_exemplars: list = field(default_factory=list, repr=False)
     _rng: random.Random = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
@@ -55,19 +62,24 @@ class FlowMeter:
                 self.out_of_order += 1
             self._last_seq = max(self._last_seq, pkt.seq)
         if pkt.tx_tstamp_ns:
-            self._observe_delay(now - pkt.tx_tstamp_ns)
+            trace_id = (
+                f"{pkt.flow_id}:{pkt.seq}" if pkt.tctx is not None else None
+            )
+            self._observe_delay(now - pkt.tx_tstamp_ns, trace_id)
 
-    def _observe_delay(self, delay_ns: int) -> None:
+    def _observe_delay(self, delay_ns: int, trace_id: str | None = None) -> None:
         self.delay_count += 1
         self.delay_sum_ns += delay_ns
         if self.max_samples is None or len(self.delays_ns) < self.max_samples:
             self.delays_ns.append(delay_ns)
+            self.delay_exemplars.append(trace_id)
         else:
             # Algorithm R: keep each of the N seen delays with equal
             # probability max_samples/N.
             slot = self._rng.randrange(self.delay_count)
             if slot < self.max_samples:
                 self.delays_ns[slot] = delay_ns
+                self.delay_exemplars[slot] = trace_id
 
     # -- derived metrics ------------------------------------------------------
     def goodput_bps(self, duration_ns: int | None = None) -> float:

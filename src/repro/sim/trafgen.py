@@ -83,6 +83,10 @@ class UdpFlow:
         # workers use it to quiesce replica flows owned by other shards.
         self.enabled = True
         self.flow_id = next(self._flow_ids)
+        # Set by net.trace() iff this flow is admitted by the sampling
+        # decision (a pure function of seed and flow_id); an admitted
+        # flow traces every packet it emits.
+        self.tracer = None
         self._seq = 0
         self._stop_ns: int | None = None
         wire_size = payload_size + 48  # IPv6 + UDP headers
@@ -114,6 +118,8 @@ class UdpFlow:
         pkt.seq = self._seq
         pkt.flow_id = self.flow_id
         pkt.tx_tstamp_ns = now
+        if self.tracer is not None:
+            self.tracer.admit(pkt, self.node.name, now)
         self.stats.sent += 1
         self.stats.bytes_sent += len(pkt)
         return pkt

@@ -111,10 +111,16 @@ class Histogram:
     ``name_bucket{le=...}`` sample per bound (cumulative, like
     Prometheus), so percentile floors can be read straight off a
     snapshot without keeping raw observations.
+
+    ``observe(value, trace_id=...)`` optionally records an *exemplar* —
+    the trace id of one concrete observation per bucket (last writer
+    wins, OpenMetrics-style), read back via :attr:`exemplars`.  Exemplars
+    are side-band only: ``samples()`` output is unchanged, so the
+    byte-stable export stream the determinism tests pin stays identical.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum")
+    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum", "exemplars")
 
     def __init__(self, name: str, labels: tuple, bounds: tuple = DEFAULT_BUCKETS_NS):
         self.name = name
@@ -123,15 +129,21 @@ class Histogram:
         self.buckets = [0] * (len(self.bounds) + 1)  # +inf overflow bucket
         self.count = 0
         self.sum = 0
+        # bucket index -> (value, trace_id) for the latest traced
+        # observation landing in that bucket (index len(bounds) = +Inf).
+        self.exemplars: dict = {}
 
-    def observe(self, value: "int | float") -> None:
+    def observe(self, value: "int | float", trace_id: str | None = None) -> None:
         self.count += 1
         self.sum += value
+        index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+                index = i
+                break
+        self.buckets[index] += 1
+        if trace_id is not None:
+            self.exemplars[index] = (value, trace_id)
 
     def samples(self) -> Iterable[Sample]:
         yield Sample(f"{self.name}_count", self.labels, self.count, self.kind)

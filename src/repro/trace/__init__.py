@@ -1,0 +1,12 @@
+"""repro.trace — causal packet tracing, latency attribution, self-profiling.
+
+See :mod:`repro.trace.tracer` for the span model and the determinism
+contract, :mod:`repro.trace.chrome` for the Perfetto-loadable export,
+and :mod:`repro.trace.profiler` for the scheduler self-profiler.
+"""
+
+from .chrome import chrome_trace
+from .profiler import SelfProfiler
+from .tracer import Tracer, trace_id_of
+
+__all__ = ["Tracer", "SelfProfiler", "chrome_trace", "trace_id_of"]

@@ -1,0 +1,81 @@
+"""Chrome trace-event export: one process per flow, one thread per node.
+
+The output is the JSON object format (``{"traceEvents": [...]}``) that
+chrome://tracing and https://ui.perfetto.dev load directly.  Spans with
+duration become complete events (``ph="X"``), zero-duration pipeline
+instants become instant events (``ph="i"``), and metadata events name
+the processes/threads.  Timestamps are microseconds (the trace-event
+unit) kept as floats so nanosecond resolution survives.
+"""
+
+from __future__ import annotations
+
+
+def chrome_trace(records) -> dict:
+    """Build a Chrome trace-event object from finalised trace records.
+
+    ``records`` must already be in canonical order; event order within
+    the output is deterministic (records order, then span order).
+    """
+    events: list = []
+    flows_seen: dict = {}
+    threads_seen: dict = {}
+    next_tid = 1
+    for rec in records:
+        pid = rec["flow"]
+        if pid not in flows_seen:
+            flows_seen[pid] = True
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"flow {pid}"},
+                }
+            )
+        for start, end, category, where, detail in rec["spans"]:
+            key = (pid, where)
+            tid = threads_seen.get(key)
+            if tid is None:
+                tid = threads_seen[key] = next_tid
+                next_tid += 1
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": where},
+                    }
+                )
+            args = {"trace": rec["id"]}
+            if detail:
+                args["detail"] = detail
+            if end > start:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": category,
+                        "cat": category,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": start / 1000.0,
+                        "dur": (end - start) / 1000.0,
+                        "args": args,
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": category,
+                        "cat": category,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": start / 1000.0,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}

@@ -1,0 +1,96 @@
+"""A scheduler-level self-profiler: host wall-clock per callback kind.
+
+The simulator's single hot seam is ``Scheduler._execute`` — every event
+callback funnels through it.  The profiler shadows that method with an
+instance attribute on one scheduler, so a network that never profiles
+pays literally nothing (the class method is untouched), and a profiled
+run pays one ``perf_counter_ns`` pair per event.
+
+Costs are attributed to the callback's ``__qualname__`` — e.g.
+``NetemQdisc._dequeue``, ``LinkEndpoint._deliver_batch``,
+``UdpFlow._tick`` — which maps one-to-one onto the simulator's
+subsystems.  ``collapsed()`` renders the table as collapsed-stack lines
+(``scheduler;<category> <µs>``) that flamegraph.pl or speedscope eat
+directly, to guide future perf PRs at the category that actually burns
+the host CPU.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+
+
+class SelfProfiler:
+    """Attribute host wall-clock to event-callback categories."""
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.categories: dict = {}  # qualname -> [count, total_ns]
+        self.active = False
+
+    def start(self) -> "SelfProfiler":
+        if self.active:
+            return self
+        scheduler = self.scheduler
+        categories = self.categories
+        clock = perf_counter_ns
+
+        def _execute_profiled(event):
+            t0 = clock()
+            scheduler.now_ns = event.time_ns
+            scheduler._stream = event.stream
+            event.callback(*event.args)
+            dt = clock() - t0
+            callback = event.callback
+            key = getattr(callback, "__qualname__", None) or repr(callback)
+            entry = categories.get(key)
+            if entry is None:
+                categories[key] = [1, dt]
+            else:
+                entry[0] += 1
+                entry[1] += dt
+
+        scheduler._execute = _execute_profiled
+        self.active = True
+        return self
+
+    def stop(self) -> "SelfProfiler":
+        if self.active:
+            self.scheduler.__dict__.pop("_execute", None)
+            self.active = False
+        return self
+
+    @property
+    def total_ns(self) -> int:
+        return sum(entry[1] for entry in self.categories.values())
+
+    @property
+    def events(self) -> int:
+        return sum(entry[0] for entry in self.categories.values())
+
+    def report(self) -> list:
+        """``(category, count, total_ns)`` rows, hottest first."""
+        rows = [
+            (category, entry[0], entry[1])
+            for category, entry in self.categories.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows
+
+    def collapsed(self) -> list:
+        """Collapsed-stack lines (flamegraph.pl / speedscope input).
+
+        Sample weights are microseconds; categories under 1 µs total
+        round up to 1 so they stay visible.
+        """
+        return [
+            f"scheduler;{category} {max(1, total_ns // 1000)}"
+            for category, _count, total_ns in self.report()
+        ]
+
+    def write_collapsed(self, path) -> int:
+        lines = self.collapsed()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)

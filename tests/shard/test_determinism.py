@@ -48,6 +48,36 @@ def build_square(seed: int = 7) -> Network:
     return net
 
 
+def build_square_traced(seed: int = 7) -> Network:
+    """The FRR square with causal tracing armed on every flow.
+
+    The flow id is pinned (ids come from a process-global counter) so the
+    trace streams of separately built reference/candidate networks are
+    comparable byte for byte.
+    """
+    net = Network(seed=seed)
+    for name in ("A", "B", "C", "D"):
+        net.add_node(name, addr=f"fc00:{name.lower()}::1")
+    net.add_link("A", "B", rate_bps=1e9, delay_ns=2_000_000)
+    net.add_link("B", "D", rate_bps=1e9, delay_ns=2_000_000)
+    net.add_link("A", "C", rate_bps=1e9, delay_ns=2_000_000)
+    net.add_link("C", "D", rate_bps=1e9, delay_ns=2_000_000)
+    net.ctrl(
+        frr=True,
+        hello_interval_ns=10 * NS_PER_MS,
+        costs={("A", "eth0"): 5, ("B", "eth0"): 5, ("B", "eth1"): 5, ("D", "eth0"): 5},
+    )
+    net.trace(sample=1)
+    flow = net.trafgen("A", dst="fc00:d::1", rate_bps=20e6, payload_size=400)
+    flow.flow_id = 5001
+    net.sink("D")
+    flow.start(at_ns=0)
+    net.fail_link("A", "B", at_ns=60 * NS_PER_MS)
+    net.recover_link("A", "B", at_ns=140 * NS_PER_MS)
+    net.telemetry(interval_ms=25, sink=RingSink(capacity=None))
+    return net
+
+
 def build_setup2(seed: int = 11) -> Network:
     """The paper's hybrid-access testbed with shaped (jittered) links."""
     net = Setup2Topo(seed=seed).net
@@ -130,6 +160,40 @@ def test_setup2_is_byte_identical(shards):
     assert reference["meters"][0][0] > 0, "scenario must deliver traffic"
     candidate = run_scenario(build_setup2, SETUP2_UNTIL, shards)
     assert_identical(reference, candidate)
+
+
+def run_traced(shards: int) -> dict:
+    net = build_square_traced()
+    net.run(until_ns=SQUARE_UNTIL, shards=shards)
+    observed = observe(net, canonical=(shards == 1))
+    observed["now_ns"] = net.scheduler.now_ns
+    tracer = net._tracer
+    observed["trace"] = tracer.jsonl_lines()
+    observed["trace_chrome"] = tracer.chrome_trace()
+    observed["trace_started"] = tracer.started
+    observed["exemplars"] = [tuple(m.delay_exemplars) for m in net.meters]
+    for rec in tracer.records:
+        assert sum(rec["attribution"].values()) == rec["delay_ns"]
+    return observed
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_traced_square_trace_stream_is_byte_identical(shards):
+    """The tentpole gate: the canonical trace export (and everything
+    else) survives sharding byte for byte, through a mid-run failure
+    with FRR and a recovery."""
+    reference = run_traced(1)
+    assert len(reference["trace"]) > 100, "scenario must deliver traced traffic"
+    assert any("events" in line for line in reference["trace"]), (
+        "some trace must span a control-plane event"
+    )
+    assert any(x is not None for x in reference["exemplars"][0])
+    candidate = run_traced(shards)
+    assert_identical(reference, candidate)
+    assert candidate["trace"] == reference["trace"]
+    assert candidate["trace_chrome"] == reference["trace_chrome"]
+    assert candidate["trace_started"] == reference["trace_started"]
+    assert candidate["exemplars"] == reference["exemplars"]
 
 
 def test_sharded_run_is_terminal_and_validated():

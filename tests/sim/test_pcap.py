@@ -95,3 +95,64 @@ def test_read_rejects_garbage(tmp_path):
     path.write_bytes(b"not a pcap at all, sorry")
     with pytest.raises(ValueError):
         read_pcap(path)
+
+
+# --- net.pcap() -------------------------------------------------------------------
+
+
+def _two_node_net(seed=3):
+    from repro.lab import Network
+
+    net = Network(seed=seed)
+    net.add_node("A", addr="fc00:a::1")
+    net.add_node("B", addr="fc00:b::1")
+    net.add_link("A", "B", rate_bps=1e9, delay_ns=100_000)
+    net.config("A", "route add fc00:b::/64 via fc00:b::1 dev eth0")
+    return net
+
+
+def test_net_pcap_stamps_scheduler_clock(tmp_path):
+    from repro.sim.scheduler import NS_PER_MS
+
+    net = _two_node_net()
+    path = tmp_path / "b-rx.pcap"
+    capture = net.pcap("B", direction="rx", path=path)
+    flow = net.trafgen("A", dst="fc00:b::1", rate_bps=10e6, payload_size=300)
+    net.sink("B")
+    flow.start(at_ns=0)
+    net.run(until_ns=5 * NS_PER_MS)
+    capture.close()
+    records = read_pcap(path)
+    assert capture.packets_written == len(records) > 5
+    # Timestamps are the simulation clock at capture, not the default 0.
+    assert all(ts > 0 for ts, _data in records)
+    assert [ts for ts, _ in records] == sorted(ts for ts, _ in records)
+
+
+def test_net_pcap_indexes_active_trace_ids(tmp_path):
+    from repro.sim.scheduler import NS_PER_MS
+
+    net = _two_node_net()
+    net.trace(sample=1)
+    capture = net.pcap("B", direction="rx", path=tmp_path / "b.pcap")
+    flow = net.trafgen("A", dst="fc00:b::1", rate_bps=10e6, payload_size=300)
+    net.sink("B")
+    flow.start(at_ns=0)
+    net.run(until_ns=5 * NS_PER_MS)
+    capture.close()
+    assert len(capture.trace_ids) == capture.packets_written
+    for ts, trace_id in capture.trace_ids:
+        assert ts > 0
+        assert trace_id.startswith(f"{flow.flow_id}:")
+    assert net._pcaps == [capture]
+
+
+def test_net_pcap_device_resolution(tmp_path):
+    net = _two_node_net()
+    net.add_link("A", "B")  # second device on each end
+    with pytest.raises(ValueError, match="pass dev="):
+        net.pcap("A", path=tmp_path / "x.pcap")
+    with pytest.raises(KeyError):
+        net.pcap("A", dev="nope", path=tmp_path / "x.pcap")
+    capture = net.pcap("A", dev="eth1", path=tmp_path / "a.pcap")
+    capture.close()

@@ -57,6 +57,46 @@ def test_histogram_buckets_cumulative():
     assert values["lat_bucket{le=+Inf,node=A}"] == 3
 
 
+def test_histogram_exemplars_are_sideband():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", bounds=(10, 100), node="A")
+    before = [s for s in h.samples()]
+    h.observe(5)  # untraced: no exemplar
+    h.observe(50, trace_id="3:14")
+    h.observe(60, trace_id="3:15")  # same bucket: last writer wins
+    h.observe(500, trace_id="3:16")  # +Inf overflow bucket
+    assert h.exemplars == {1: (60, "3:15"), 2: (500, "3:16")}
+    # samples() output carries no exemplar fields — the export stream
+    # (pinned byte for byte by the determinism tests) is unchanged.
+    assert {s.name for s in h.samples()} == {s.name for s in before}
+    values = registry.as_dict()
+    assert values["lat_count{node=A}"] == 4
+    assert values["lat_bucket{le=+Inf,node=A}"] == 4
+
+
+def test_flowmeter_delay_exemplars_lockstep():
+    from repro.net import make_udp_packet
+    from repro.sim.stats import FlowMeter
+
+    class _Node:
+        name = "D"
+
+        @staticmethod
+        def clock_ns():
+            return 1_000
+
+    meter = FlowMeter("m")
+    traced = make_udp_packet("fc00::1", "fc00::2", 1, 2, b"x")
+    traced.flow_id, traced.seq, traced.tx_tstamp_ns = 9, 4, 400
+    traced.tctx = [(400, 400, "emit", "A", "")]
+    plain = make_udp_packet("fc00::1", "fc00::2", 1, 2, b"x")
+    plain.flow_id, plain.seq, plain.tx_tstamp_ns = 9, 5, 500
+    meter.on_packet(traced, _Node)
+    meter.on_packet(plain, _Node)
+    assert meter.delays_ns == [600, 500]
+    assert meter.delay_exemplars == ["9:4", None]
+
+
 def test_collect_is_sorted_and_deterministic():
     registry = MetricsRegistry()
     registry.counter("zeta")

@@ -1,0 +1,61 @@
+"""Sink behaviour under sustained pressure and at close time."""
+
+from __future__ import annotations
+
+import io
+
+from repro.telemetry import FileSink, RingSink
+
+
+def test_ring_sink_sheds_newest_and_accounts_every_reject():
+    sink = RingSink(capacity=4)
+    results = [sink.emit(f"line-{i}") for i in range(100)]
+    # The ring keeps the OLDEST capacity lines (reject-on-full, not
+    # evict-oldest): once full, every later emit is refused and counted.
+    assert results == [True] * 4 + [False] * 96
+    assert sink.lines() == [f"line-{i}" for i in range(4)]
+    assert sink.emitted == 4
+    assert sink.dropped == 96
+    assert len(sink) == 4
+
+
+def test_ring_sink_ordering_survives_interleaved_pressure():
+    sink = RingSink(capacity=8)
+    for i in range(8):
+        sink.emit(f"keep-{i}")
+    for burst in range(10):
+        for i in range(50):
+            assert not sink.emit(f"shed-{burst}-{i}")
+    assert sink.lines() == [f"keep-{i}" for i in range(8)]
+    assert sink.tail(3) == ["keep-5", "keep-6", "keep-7"]
+    assert sink.dropped == 500
+    assert sink.text() == "".join(f"keep-{i}\n" for i in range(8))
+
+
+def test_ring_sink_unbounded_never_drops():
+    sink = RingSink(capacity=None)
+    for i in range(10_000):
+        assert sink.emit(str(i))
+    assert sink.dropped == 0
+    assert sink.emitted == 10_000
+
+
+def test_file_sink_close_flushes_buffered_lines(tmp_path):
+    path = tmp_path / "out.jsonl"
+    sink = FileSink(path)
+    for i in range(100):
+        assert sink.emit(f"row-{i}")
+    sink.close()
+    assert path.read_text().splitlines() == [f"row-{i}" for i in range(100)]
+    assert sink.emitted == 100
+    assert sink.dropped == 0
+
+
+def test_file_sink_borrowed_handle_stays_open_after_close():
+    buffer = io.StringIO()
+    sink = FileSink(buffer)
+    sink.emit("a")
+    sink.close()  # flushes, but must not close a handle it doesn't own
+    assert not buffer.closed
+    assert buffer.getvalue() == "a\n"
+    buffer.write("caller continues\n")

@@ -124,6 +124,39 @@ def test_main_feed_runs_headless(capsys):
     assert re.search(r"^A\s+addrs=fc00:a::1", text, re.MULTILINE)
 
 
+def test_trace_command_family():
+    net = _square_with_flow()
+    out = io.StringIO()
+    cli = NetCli(net, out=out)
+
+    # Reading before arming is an error; arming twice is reported.
+    cli.script(["trace top", "trace on", "trace on", "run 400", "trace top 3"])
+    text = out.getvalue()
+    assert "tracing is not armed" in text
+    assert "(tracing armed, 1-in-1 flows)" in text
+    assert "(tracing already armed)" in text
+    top_lines = [line for line in text.splitlines() if "delay=" in line]
+    assert len(top_lines) == 3
+    assert all("A->D" in line for line in top_lines)
+
+    tracer = net._tracer
+    trace_id = tracer.top(1)[0]["id"]
+    flow_id = tracer.top(1)[0]["flow"]
+    out2 = io.StringIO()
+    cli.out = out2
+    cli.script([f"trace show {trace_id}", f"trace follow {flow_id}"])
+    shown = out2.getvalue()
+    assert "emit" in shown and "deliver" in shown and "propagate" in shown
+    assert shown.count("delay=") == 1 + len(tracer.follow(flow_id))
+
+    out3 = io.StringIO()
+    cli.out = out3
+    cli.script(["trace show 999999:1", "trace nonsense", "trace"])
+    errors = out3.getvalue()
+    assert "no trace" in errors
+    assert errors.count("usage: trace") == 2
+
+
 def test_main_setup2_builds(capsys):
     rc = main(["--setup", "setup2", "--no-ctrl", "--feed", "nodes; links; exit"])
     assert rc == 0
